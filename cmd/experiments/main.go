@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's evaluation: each figure of
+// Soares et al. (ICPP 2009) and the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -figure fig4
+//	experiments -figure all -seeds 5 -out results/
+//	experiments -figure fig8 -scale 0.25        # quick shape check
+//
+// Tables print to stdout; -out additionally writes one CSV per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vdtn"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", `experiment id ("fig4".."fig9", "ablation-*", or "all")`)
+		seeds  = flag.Int("seeds", 1, "number of replication seeds (1..n)")
+		scale  = flag.Float64("scale", 1, "duration scale (1 = the paper's 12 h)")
+		work   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir = flag.String("out", "", "directory for CSV output (optional)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	catalog := vdtn.Experiments()
+	if *list {
+		for _, e := range catalog {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []vdtn.Experiment
+	if *figure == "all" {
+		todo = catalog
+	} else {
+		e, ok := vdtn.ExperimentByID(*figure)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; try -list\n", *figure)
+			os.Exit(2)
+		}
+		todo = []vdtn.Experiment{e}
+	}
+
+	seedList := make([]uint64, *seeds)
+	for i := range seedList {
+		seedList[i] = uint64(i + 1)
+	}
+	opt := vdtn.ExperimentOptions{Seeds: seedList, Scale: *scale, Workers: *work}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tbl := vdtn.RunExperiment(e, opt)
+		fmt.Println(tbl.Render())
+		fmt.Printf("(%d runs in %v)\n\n",
+			len(e.Scenarios)*len(e.Xs)*len(seedList), time.Since(start).Round(time.Millisecond))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command maptool inspects and converts the road maps the simulator runs
+// on.
+//
+// Usage:
+//
+//	maptool -map helsinki -stats          # the paper scenario's map
+//	maptool -map grid:8x12x250 -stats     # synthetic grid
+//	maptool -load city.wkt -stats         # your own WKT map
+//	maptool -map helsinki -relays 5       # show relay placements
+//	maptool -map helsinki -export > h.wkt # dump as WKT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdtn/internal/roadmap"
+)
+
+func main() {
+	var (
+		mapSpec = flag.String("map", "helsinki", `built-in map: "helsinki" or "grid:RxCxS" (rows x cols x spacing m)`)
+		load    = flag.String("load", "", "load a WKT map file instead of a built-in")
+		stats   = flag.Bool("stats", false, "print map statistics")
+		relays  = flag.Int("relays", 0, "print N relay site placements")
+		export  = flag.Bool("export", false, "write the map as WKT to stdout")
+	)
+	flag.Parse()
+
+	g, err := buildMap(*mapSpec, *load)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maptool: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !*stats && *relays == 0 && !*export {
+		*stats = true // default action
+	}
+
+	if *stats {
+		b := g.Bounds()
+		fmt.Printf("vertices        %d\n", g.VertexCount())
+		fmt.Printf("edges           %d\n", g.EdgeCount())
+		fmt.Printf("extent          %.0f m x %.0f m\n", b.Width(), b.Height())
+		fmt.Printf("total road      %.1f km\n", g.TotalRoadLength()/1000)
+		crossroads := 0
+		for v := 0; v < g.VertexCount(); v++ {
+			if g.Degree(v) >= 3 {
+				crossroads++
+			}
+		}
+		fmt.Printf("crossroads      %d (degree >= 3)\n", crossroads)
+		if err := g.Validate(); err != nil {
+			fmt.Printf("validation      FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("validation      ok (connected)\n")
+	}
+
+	if *relays > 0 {
+		sites := roadmap.RelaySites(g, *relays)
+		fmt.Printf("relay sites (%d):\n", len(sites))
+		for _, s := range sites {
+			p := g.Vertex(s)
+			fmt.Printf("  vertex %3d at %s, degree %d\n", s, p, g.Degree(s))
+		}
+	}
+
+	if *export {
+		fmt.Print(roadmap.ExportWKT(g))
+	}
+}
+
+func buildMap(spec, load string) (*roadmap.Graph, error) {
+	if load != "" {
+		data, err := os.ReadFile(load)
+		if err != nil {
+			return nil, err
+		}
+		return roadmap.ParseWKT(string(data))
+	}
+	switch {
+	case spec == "helsinki":
+		return roadmap.HelsinkiLike(), nil
+	case strings.HasPrefix(spec, "grid:"):
+		var rows, cols int
+		var spacing float64
+		if _, err := fmt.Sscanf(spec, "grid:%dx%dx%f", &rows, &cols, &spacing); err != nil {
+			return nil, fmt.Errorf("bad grid spec %q (want grid:RxCxS): %v", spec, err)
+		}
+		return roadmap.Grid(rows, cols, spacing), nil
+	default:
+		return nil, fmt.Errorf("unknown map %q", spec)
+	}
+}

@@ -1,0 +1,258 @@
+// Command vdtnsim runs a single VDTN scenario and prints its metrics.
+//
+// Usage:
+//
+//	vdtnsim [flags]
+//
+// With no flags it runs the paper's default scenario (Epidemic FIFO-FIFO,
+// 60-minute TTL, 12 simulated hours). Examples:
+//
+//	vdtnsim -protocol spraywait -policy lifetime -ttl 120
+//	vdtnsim -protocol maxprop -ttl 180 -seed 7
+//	vdtnsim -vehicles 80 -relays 10 -rate 2 -duration 6
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vdtn"
+	"vdtn/internal/reports"
+	"vdtn/internal/scenario"
+	"vdtn/internal/stats"
+	"vdtn/internal/trace"
+	"vdtn/internal/units"
+)
+
+var protocols = map[string]vdtn.ProtocolKind{
+	"epidemic":         vdtn.ProtoEpidemic,
+	"spraywait":        vdtn.ProtoSprayAndWait,
+	"spraywaitvanilla": vdtn.ProtoSprayAndWaitVanilla,
+	"maxprop":          vdtn.ProtoMaxProp,
+	"prophet":          vdtn.ProtoPRoPHET,
+	"direct":           vdtn.ProtoDirectDelivery,
+	"firstcontact":     vdtn.ProtoFirstContact,
+}
+
+var policies = map[string]vdtn.PolicyKind{
+	"fifo":      vdtn.PolicyFIFOFIFO,
+	"random":    vdtn.PolicyRandomFIFO,
+	"lifetime":  vdtn.PolicyLifetime,
+	"size":      vdtn.PolicySize,
+	"hopmofo":   vdtn.PolicyHopMOFO,
+	"oldestage": vdtn.PolicyFIFOOldestAge,
+}
+
+func keys[V any](m map[string]V) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	// Sorted for stable help output.
+	for i := 0; i < len(ks); i++ {
+		for j := i + 1; j < len(ks); j++ {
+			if ks[j] < ks[i] {
+				ks[i], ks[j] = ks[j], ks[i]
+			}
+		}
+	}
+	return strings.Join(ks, "|")
+}
+
+func main() {
+	var (
+		protoName = flag.String("protocol", "epidemic", "routing protocol: "+keys(protocols))
+		polName   = flag.String("policy", "fifo", "scheduling-dropping policy: "+keys(policies))
+		ttlMin    = flag.Float64("ttl", 60, "message TTL in minutes")
+		durationH = flag.Float64("duration", 12, "simulated duration in hours")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		vehicles  = flag.Int("vehicles", 40, "number of vehicles")
+		relays    = flag.Int("relays", 5, "number of stationary relay nodes")
+		vbufMB    = flag.Float64("buf", 100, "vehicle buffer size in MB")
+		rbufMB    = flag.Float64("relaybuf", 500, "relay buffer size in MB")
+		rateMbit  = flag.Float64("rate", 6, "link data rate in Mbit/s")
+		rangeM    = flag.Float64("range", 30, "radio range in metres")
+		copies    = flag.Int("copies", 12, "Spray and Wait copy budget N")
+		warmupMin = flag.Float64("warmup", 0, "exclude messages created before this many minutes")
+		contacts  = flag.String("contacts", "", "contact-plan file (\"start end a b\" lines); replaces mobility")
+		confFile  = flag.String("config", "", "load the scenario from a JSON file (other flags still override)")
+		dumpConf  = flag.Bool("dump-config", false, "print the effective scenario as JSON and exit")
+		traceFile = flag.String("trace", "", "write the full event trace as TSV to this file")
+		analyze   = flag.Bool("analyze", false, "print offline trace analysis (contacts, paths, fates)")
+		verbose   = flag.Bool("v", false, "also print scenario parameters")
+	)
+	flag.Parse()
+
+	proto, ok := protocols[strings.ToLower(*protoName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vdtnsim: unknown protocol %q (want %s)\n", *protoName, keys(protocols))
+		os.Exit(2)
+	}
+	pol, ok := policies[strings.ToLower(*polName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vdtnsim: unknown policy %q (want %s)\n", *polName, keys(policies))
+		os.Exit(2)
+	}
+
+	cfg := vdtn.PaperConfig(*ttlMin, proto, pol, *seed)
+	if *confFile != "" {
+		data, err := os.ReadFile(*confFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg, err = scenario.Load(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// Explicit flags override the file.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *confFile == "" || set["protocol"] {
+		cfg.Protocol = proto
+	}
+	if *confFile == "" || set["policy"] {
+		cfg.Policy = pol
+	}
+	if *confFile == "" || set["ttl"] {
+		cfg.TTL = units.Minutes(*ttlMin)
+	}
+	if *confFile == "" || set["seed"] {
+		cfg.Seed = *seed
+	}
+	if *confFile == "" || set["duration"] {
+		cfg.Duration = units.Hours(*durationH)
+	}
+	if *confFile == "" || set["vehicles"] {
+		cfg.Vehicles = *vehicles
+	}
+	if *confFile == "" || set["relays"] {
+		cfg.Relays = *relays
+	}
+	if *confFile == "" || set["buf"] {
+		cfg.VehicleBuffer = units.MB(*vbufMB)
+	}
+	if *confFile == "" || set["relaybuf"] {
+		cfg.RelayBuffer = units.MB(*rbufMB)
+	}
+	if *confFile == "" || set["rate"] {
+		cfg.Rate = units.Mbit(*rateMbit)
+	}
+	if *confFile == "" || set["range"] {
+		cfg.Range = *rangeM
+	}
+	if *confFile == "" || set["copies"] {
+		cfg.SprayCopies = *copies
+	}
+	if *confFile == "" || set["warmup"] {
+		cfg.Warmup = units.Minutes(*warmupMin)
+	}
+
+	if *dumpConf {
+		data, err := scenario.Save("vdtnsim", cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	if *contacts != "" {
+		data, err := os.ReadFile(*contacts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := vdtn.ParseContactPlan(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Plan = plan
+		if cfg.Vehicles+cfg.Relays <= plan.MaxNode() {
+			cfg.Vehicles = plan.MaxNode() + 1
+			cfg.Relays = 0
+		}
+	}
+
+	var lg trace.Log
+	var tw *trace.Writer
+	var traceOut *os.File
+	switch {
+	case *traceFile != "":
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		traceOut = f
+		buffered := bufio.NewWriter(f)
+		defer func() {
+			buffered.Flush()
+			f.Close()
+		}()
+		tw = trace.NewWriter(buffered)
+		if *analyze {
+			cfg.Trace = func(ev trace.Event) {
+				tw.Emit(ev)
+				lg.Append(ev)
+			}
+		} else {
+			cfg.Trace = tw.Emit
+		}
+	case *analyze:
+		cfg.Trace = lg.Append
+	}
+
+	if *verbose {
+		fmt.Printf("scenario: %s\n", cfg.Label())
+		fmt.Printf("  %d vehicles (%v), %d relays (%v)\n",
+			cfg.Vehicles, cfg.VehicleBuffer, cfg.Relays, cfg.RelayBuffer)
+		fmt.Printf("  radio %v at %.0f m, %s simulated\n",
+			cfg.Rate, cfg.Range, units.FormatDuration(cfg.Duration))
+	}
+
+	result, err := vdtn.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s  (seed %d)\n", result.Label, result.Seed)
+	fmt.Println(result.Report)
+	fmt.Printf("contacts       %6d\ntransfers      %6d started, %d completed, %d aborted\n",
+		result.Contacts, result.TransfersStarted, result.TransfersCompleted, result.TransfersAborted)
+	fmt.Printf("mean occupancy %8.1f%%\n", 100*result.MeanBufferOccupancy)
+
+	if *analyze {
+		analysis := reports.Analyze(lg.Events(), cfg.Duration)
+		fmt.Printf("\n--- trace analysis ---\n%s", analysis)
+		fmt.Println("busiest pairs:")
+		for _, p := range reports.TopPairs(lg.Events(), 5) {
+			fmt.Printf("  %d <-> %d\n", p[0], p[1])
+		}
+		if delays := analysis.Delays(); len(delays) > 0 {
+			maxD := delays[0]
+			for _, d := range delays {
+				if d > maxD {
+					maxD = d
+				}
+			}
+			h := stats.NewHistogram(0, maxD+1, 12)
+			h.AddAll(delays)
+			fmt.Printf("\ndelivery delay distribution:\n%s", h.Render(40, units.FormatDuration))
+		}
+	}
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: trace write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", traceOut.Name())
+	}
+}

@@ -1,0 +1,58 @@
+// Policycompare: the paper's core claim on one screen.
+//
+// A traffic-notification service (the paper's motivating low-latency
+// application) cares about how fast messages arrive. This example runs the
+// same 12-hour scenario under the three Table I scheduling-dropping
+// policies for both Epidemic and Spray-and-Wait routing and prints the
+// delay and delivery-probability comparison — the essence of Figures 4-7.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdtn"
+)
+
+func main() {
+	const ttlMinutes = 120
+	const seed = 1
+
+	policies := []vdtn.PolicyKind{
+		vdtn.PolicyFIFOFIFO,
+		vdtn.PolicyRandomFIFO,
+		vdtn.PolicyLifetime,
+	}
+	protocols := []vdtn.ProtocolKind{
+		vdtn.ProtoEpidemic,
+		vdtn.ProtoSprayAndWait,
+	}
+
+	fmt.Printf("Paper scenario, TTL %d min, seed %d\n\n", ttlMinutes, seed)
+	fmt.Printf("%-14s %-26s %12s %14s\n", "protocol", "policy", "avg delay", "delivery prob")
+
+	for _, proto := range protocols {
+		var baseline float64
+		for _, pol := range policies {
+			cfg := vdtn.PaperConfig(ttlMinutes, proto, pol, seed)
+			r, err := vdtn.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			delayMin := r.AvgDelay / 60
+			if pol == vdtn.PolicyFIFOFIFO {
+				baseline = delayMin
+			}
+			fmt.Printf("%-14s %-26s %9.1f min %14.3f", proto, pol, delayMin, r.DeliveryProbability)
+			if pol != vdtn.PolicyFIFOFIFO {
+				fmt.Printf("   (%.1f min sooner than FIFO-FIFO)", baseline-delayMin)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("The Lifetime policy row should show the largest delay reduction and")
+	fmt.Println("the highest delivery probability for both protocols (paper §III.A-B).")
+}

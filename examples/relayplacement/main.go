@@ -1,0 +1,38 @@
+// Relayplacement: how much do stationary relay nodes help?
+//
+// The paper's introduction motivates relay nodes at crossroads: they let
+// passing vehicles deposit and pick up messages, increasing contact
+// opportunities. This example sweeps the relay count for a fixed scenario
+// and shows delivery probability and delay responding — the quantitative
+// version of the paper's Figure 1 intuition.
+//
+//	go run ./examples/relayplacement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdtn"
+	"vdtn/internal/units"
+)
+
+func main() {
+	fmt.Println("Spray-and-Wait/Lifetime, TTL 120 min, 6 simulated hours, varying relays")
+	fmt.Printf("\n%7s %14s %12s %10s\n", "relays", "delivery prob", "avg delay", "contacts")
+
+	for _, relays := range []int{0, 2, 5, 8, 10} {
+		cfg := vdtn.PaperConfig(120, vdtn.ProtoSprayAndWait, vdtn.PolicyLifetime, 1)
+		cfg.Relays = relays
+		cfg.Duration = units.Hours(6) // shorter horizon keeps the sweep snappy
+		r, err := vdtn.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7d %14.3f %9.1f min %10d\n",
+			relays, r.DeliveryProbability, r.AvgDelay/60, r.Contacts)
+	}
+
+	fmt.Println("\nMore relays -> more contact opportunities; the gain should be")
+	fmt.Println("clearest going from 0 to a few relays at well-spread crossroads.")
+}

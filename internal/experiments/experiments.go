@@ -1,0 +1,482 @@
+// Package experiments defines and runs the paper's evaluation: one
+// Experiment per figure (and per ablation), a parallel multi-seed runner,
+// and table/CSV rendering of the results.
+//
+// Every experiment is a family of scenarios (series) swept over an x-axis
+// (message TTL for the paper's figures; link rate, buffer size, copy
+// budget or relay count for the ablations). Each (series, x, seed) cell is
+// one full simulation run; cells are independent, so the runner fans them
+// out over a worker pool and aggregates per-cell replications into mean ±
+// 95% CI.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"vdtn/internal/sim"
+	"vdtn/internal/stats"
+	"vdtn/internal/units"
+)
+
+// Metric selects which run metric an experiment reports.
+type Metric int
+
+// Metrics the figures plot.
+const (
+	// MetricAvgDelayMin is the message average delay in minutes
+	// (Figures 4, 6, 9).
+	MetricAvgDelayMin Metric = iota
+	// MetricDeliveryProb is the message delivery probability
+	// (Figures 5, 7, 8).
+	MetricDeliveryProb
+	// MetricOverhead is the transfer overhead ratio (ablations).
+	MetricOverhead
+)
+
+// String names the metric for table headers.
+func (m Metric) String() string {
+	switch m {
+	case MetricAvgDelayMin:
+		return "average delay (minutes)"
+	case MetricDeliveryProb:
+		return "delivery probability"
+	case MetricOverhead:
+		return "overhead ratio"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// value extracts the metric from a run result.
+func (m Metric) value(r sim.Result) float64 {
+	switch m {
+	case MetricAvgDelayMin:
+		return r.AvgDelay / 60
+	case MetricDeliveryProb:
+		return r.DeliveryProbability
+	case MetricOverhead:
+		return r.OverheadRatio
+	default:
+		panic(fmt.Sprintf("experiments: unknown metric %d", int(m)))
+	}
+}
+
+// Scenario is one series in an experiment.
+type Scenario struct {
+	// Name labels the series in tables ("FIFO-FIFO", "MaxProp", ...).
+	Name string
+	// Protocol and Policy select routing.
+	Protocol sim.ProtocolKind
+	Policy   sim.PolicyKind
+	// Mutate optionally adjusts the config after the x-value is applied.
+	Mutate func(*sim.Config)
+}
+
+// Experiment is one reproducible figure or ablation.
+type Experiment struct {
+	// ID is the handle used by the CLI and benchmarks ("fig4", ...).
+	ID string
+	// Title describes what the paper figure shows.
+	Title string
+	// XLabel names the swept parameter.
+	XLabel string
+	// Xs are the swept values, in plot order.
+	Xs []float64
+	// Metric is the reported metric.
+	Metric Metric
+	// Scenarios are the series.
+	Scenarios []Scenario
+	// Apply writes one x value into a config (e.g. sets the TTL).
+	Apply func(c *sim.Config, x float64)
+}
+
+// Options controls a run of the harness.
+type Options struct {
+	// Seeds are the replication seeds; each cell runs once per seed.
+	// Empty defaults to {1}.
+	Seeds []uint64
+	// Workers bounds parallelism; 0 defaults to GOMAXPROCS.
+	Workers int
+	// Scale multiplies the simulated duration (1 = the paper's 12 h).
+	// Benchmarks use a smaller scale; the shape of the results is
+	// preserved, absolute delays shrink with the horizon.
+	Scale float64
+	// BaseConfig supplies the scenario template; nil defaults to
+	// sim.DefaultConfig (the paper scenario).
+	BaseConfig func() sim.Config
+}
+
+func (o Options) normalized() Options {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.BaseConfig == nil {
+		o.BaseConfig = sim.DefaultConfig
+	}
+	return o
+}
+
+// Cell is the aggregated outcome of one (series, x) point.
+type Cell struct {
+	X       float64
+	Summary stats.Summary
+}
+
+// Series is one aggregated line of an experiment.
+type Series struct {
+	Name  string
+	Cells []Cell
+}
+
+// Table is a completed experiment.
+type Table struct {
+	Experiment Experiment
+	Options    Options
+	Series     []Series
+}
+
+// Run executes the experiment under opt and aggregates the results.
+func Run(exp Experiment, opt Options) Table {
+	opt = opt.normalized()
+
+	type job struct {
+		scenario int
+		xi       int
+		seed     uint64
+	}
+	var jobs []job
+	for si := range exp.Scenarios {
+		for xi := range exp.Xs {
+			for _, seed := range opt.Seeds {
+				jobs = append(jobs, job{si, xi, seed})
+			}
+		}
+	}
+	results := make([]float64, len(jobs))
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range next {
+				j := jobs[ji]
+				cfg := opt.BaseConfig()
+				cfg.Duration *= opt.Scale
+				if cfg.MessageGenEnd > 0 {
+					cfg.MessageGenEnd *= opt.Scale
+				}
+				sc := exp.Scenarios[j.scenario]
+				cfg.Protocol = sc.Protocol
+				cfg.Policy = sc.Policy
+				cfg.Seed = j.seed
+				exp.Apply(&cfg, exp.Xs[j.xi])
+				if sc.Mutate != nil {
+					sc.Mutate(&cfg)
+				}
+				w, err := sim.New(cfg)
+				if err != nil {
+					panic(fmt.Sprintf("experiments: %s cell (%s, x=%v): %v",
+						exp.ID, sc.Name, exp.Xs[j.xi], err))
+				}
+				results[ji] = exp.Metric.value(w.Run())
+			}
+		}()
+	}
+	for ji := range jobs {
+		next <- ji
+	}
+	close(next)
+	wg.Wait()
+
+	// Aggregate deterministically.
+	t := Table{Experiment: exp, Options: opt}
+	perSeed := len(opt.Seeds)
+	perX := len(exp.Xs) * perSeed
+	for si, sc := range exp.Scenarios {
+		s := Series{Name: sc.Name}
+		for xi, x := range exp.Xs {
+			base := si*perX + xi*perSeed
+			xs := make([]float64, perSeed)
+			copy(xs, results[base:base+perSeed])
+			s.Cells = append(s.Cells, Cell{X: x, Summary: stats.Summarize(xs)})
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t
+}
+
+// Render returns an aligned text table: one row per x value, one column
+// per series, cells "mean±ci" (ci omitted for single-seed runs).
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s — %s\n", t.Experiment.ID, t.Experiment.Title, t.Experiment.Metric)
+	if t.Options.Scale != 1 {
+		fmt.Fprintf(&sb, "(scaled run: %.0f%% of the paper's 12 h horizon)\n", t.Options.Scale*100)
+	}
+
+	cols := []string{t.Experiment.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for xi, x := range t.Experiment.Xs {
+		row := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			c := s.Cells[xi]
+			if c.Summary.N > 1 {
+				row = append(row, fmt.Sprintf("%.3f±%.3f", c.Summary.Mean, c.Summary.CI95()))
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", c.Summary.Mean))
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV returns the table in long form:
+// experiment,x,series,mean,ci95,n — one row per cell.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("experiment,x,series,mean,ci95,n\n")
+	for _, s := range t.Series {
+		for _, c := range s.Cells {
+			fmt.Fprintf(&sb, "%s,%s,%s,%.6f,%.6f,%d\n",
+				t.Experiment.ID, trimFloat(c.X), s.Name, c.Summary.Mean, c.Summary.CI95(), c.Summary.N)
+		}
+	}
+	return sb.String()
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.2f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// --- catalog ---------------------------------------------------------------
+
+// paperTTLs are the TTL sweep points of every figure, in minutes.
+var paperTTLs = []float64{60, 90, 120, 150, 180}
+
+func applyTTL(c *sim.Config, ttlMin float64) { c.TTL = units.Minutes(ttlMin) }
+
+// tableIPolicies are the paper's Table I series, applied to proto.
+func tableIPolicies(proto sim.ProtocolKind) []Scenario {
+	return []Scenario{
+		{Name: "FIFO-FIFO", Protocol: proto, Policy: sim.PolicyFIFOFIFO},
+		{Name: "Random-FIFO", Protocol: proto, Policy: sim.PolicyRandomFIFO},
+		{Name: "LifetimeDESC-LifetimeASC", Protocol: proto, Policy: sim.PolicyLifetime},
+	}
+}
+
+// protocolScenarios are the Figure 8/9 series: the paper's proposed policy
+// on the simple replicators vs the self-contained protocols.
+func protocolScenarios() []Scenario {
+	return []Scenario{
+		{Name: "Epidemic", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
+		{Name: "SprayAndWait", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
+		{Name: "MaxProp", Protocol: sim.ProtoMaxProp, Policy: sim.PolicyFIFOFIFO},
+		{Name: "PRoPHET", Protocol: sim.ProtoPRoPHET, Policy: sim.PolicyFIFOFIFO},
+	}
+}
+
+// Catalog returns every reproducible experiment: the paper's six figures
+// and the four ablations DESIGN.md §5 calls out.
+func Catalog() []Experiment {
+	return []Experiment{
+		{
+			ID:        "fig4",
+			Title:     "Message average delay, Epidemic routing (paper Fig. 4)",
+			XLabel:    "ttl(min)",
+			Xs:        paperTTLs,
+			Metric:    MetricAvgDelayMin,
+			Scenarios: tableIPolicies(sim.ProtoEpidemic),
+			Apply:     applyTTL,
+		},
+		{
+			ID:        "fig5",
+			Title:     "Message delivery probability, Epidemic routing (paper Fig. 5)",
+			XLabel:    "ttl(min)",
+			Xs:        paperTTLs,
+			Metric:    MetricDeliveryProb,
+			Scenarios: tableIPolicies(sim.ProtoEpidemic),
+			Apply:     applyTTL,
+		},
+		{
+			ID:        "fig6",
+			Title:     "Message average delay, Spray and Wait routing (paper Fig. 6)",
+			XLabel:    "ttl(min)",
+			Xs:        paperTTLs,
+			Metric:    MetricAvgDelayMin,
+			Scenarios: tableIPolicies(sim.ProtoSprayAndWait),
+			Apply:     applyTTL,
+		},
+		{
+			ID:        "fig7",
+			Title:     "Message delivery probability, Spray and Wait routing (paper Fig. 7)",
+			XLabel:    "ttl(min)",
+			Xs:        paperTTLs,
+			Metric:    MetricDeliveryProb,
+			Scenarios: tableIPolicies(sim.ProtoSprayAndWait),
+			Apply:     applyTTL,
+		},
+		{
+			ID:        "fig8",
+			Title:     "Delivery probability: Epidemic, SprayAndWait, MaxProp, PRoPHET (paper Fig. 8)",
+			XLabel:    "ttl(min)",
+			Xs:        paperTTLs,
+			Metric:    MetricDeliveryProb,
+			Scenarios: protocolScenarios(),
+			Apply:     applyTTL,
+		},
+		{
+			ID:        "fig9",
+			Title:     "Message average delay: Epidemic, SprayAndWait, MaxProp, PRoPHET (paper Fig. 9)",
+			XLabel:    "ttl(min)",
+			Xs:        paperTTLs,
+			Metric:    MetricAvgDelayMin,
+			Scenarios: protocolScenarios(),
+			Apply:     applyTTL,
+		},
+		{
+			ID:     "ablation-rate",
+			Title:  "Constrained link rate reinforces the policy impact (paper §III.C conjecture)",
+			XLabel: "rate(Mbit/s)",
+			Xs:     []float64{0.5, 1, 2, 4, 6},
+			Metric: MetricAvgDelayMin,
+			Scenarios: []Scenario{
+				{Name: "Epidemic/FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
+				{Name: "Epidemic/Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
+			},
+			Apply: func(c *sim.Config, mbit float64) {
+				c.TTL = units.Minutes(120)
+				c.Rate = units.Mbit(mbit)
+			},
+		},
+		{
+			ID:     "ablation-buffer",
+			Title:  "Buffer pressure and the dropping policy",
+			XLabel: "buffer(MB)",
+			Xs:     []float64{10, 25, 50, 100, 200},
+			Metric: MetricDeliveryProb,
+			Scenarios: []Scenario{
+				{Name: "Epidemic/FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
+				{Name: "Epidemic/Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
+			},
+			Apply: func(c *sim.Config, mb float64) {
+				c.TTL = units.Minutes(120)
+				c.VehicleBuffer = units.MB(mb)
+				c.RelayBuffer = units.MB(5 * mb)
+			},
+		},
+		{
+			ID:     "ablation-copies",
+			Title:  "Spray and Wait copy budget N (paper fixes N=12)",
+			XLabel: "copies",
+			Xs:     []float64{2, 4, 8, 12, 16, 24},
+			Metric: MetricDeliveryProb,
+			Scenarios: []Scenario{
+				{Name: "SprayAndWait/Lifetime", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
+			},
+			Apply: func(c *sim.Config, n float64) {
+				c.TTL = units.Minutes(120)
+				c.SprayCopies = int(n)
+			},
+		},
+		{
+			ID:     "ablation-fleet",
+			Title:  "Vehicle density: contact opportunities vs buffer contention",
+			XLabel: "vehicles",
+			Xs:     []float64{10, 20, 40, 60, 80},
+			Metric: MetricDeliveryProb,
+			Scenarios: []Scenario{
+				{Name: "Epidemic/Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
+				{Name: "SprayAndWait/Lifetime", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
+			},
+			Apply: func(c *sim.Config, n float64) {
+				c.TTL = units.Minutes(120)
+				c.Vehicles = int(n)
+			},
+		},
+		{
+			ID:     "ext-policies",
+			Title:  "Extended literature policies vs Table I (framework extension)",
+			XLabel: "ttl(min)",
+			Xs:     []float64{60, 120, 180},
+			Metric: MetricDeliveryProb,
+			Scenarios: []Scenario{
+				{Name: "FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
+				{Name: "Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
+				{Name: "SizeASC-SizeDESC", Protocol: sim.ProtoEpidemic, Policy: sim.PolicySize},
+				{Name: "HopASC-MOFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyHopMOFO},
+				{Name: "FIFO-OldestAge", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOOldestAge},
+			},
+			Apply: applyTTL,
+		},
+		{
+			ID:     "ablation-relays",
+			Title:  "Stationary relay nodes increase contact opportunities (paper Fig. 1 motivation)",
+			XLabel: "relays",
+			Xs:     []float64{0, 2, 5, 8, 10},
+			Metric: MetricDeliveryProb,
+			Scenarios: []Scenario{
+				{Name: "SprayAndWait/Lifetime", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
+			},
+			Apply: func(c *sim.Config, n float64) {
+				c.TTL = units.Minutes(120)
+				c.Relays = int(n)
+			},
+		},
+	}
+}
+
+// ByID finds an experiment in the catalog.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Catalog() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the catalog ids, sorted.
+func IDs() []string {
+	var ids []string
+	for _, e := range Catalog() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

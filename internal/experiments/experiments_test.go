@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vdtn/internal/roadmap"
+	"vdtn/internal/sim"
+	"vdtn/internal/units"
+)
+
+// tinyBase returns a very small scenario so harness tests stay fast.
+func tinyBase() sim.Config {
+	c := sim.DefaultConfig()
+	c.Duration = units.Minutes(40)
+	c.Map = roadmap.Grid(5, 5, 250)
+	c.Vehicles = 8
+	c.Relays = 1
+	c.VehicleBuffer = units.MB(10)
+	c.RelayBuffer = units.MB(20)
+	c.TTL = units.Minutes(20)
+	return c
+}
+
+func tinyExperiment() Experiment {
+	return Experiment{
+		ID:     "tiny",
+		Title:  "harness test",
+		XLabel: "ttl(min)",
+		Xs:     []float64{10, 20},
+		Metric: MetricDeliveryProb,
+		Scenarios: []Scenario{
+			{Name: "FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
+			{Name: "Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
+		},
+		Apply: func(c *sim.Config, x float64) { c.TTL = units.Minutes(x) },
+	}
+}
+
+func TestCatalogIntegrity(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 10 {
+		t.Fatalf("catalog has %d experiments, want the 6 figures + 4 ablations", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, e := range cat {
+		if e.ID == "" || e.Title == "" || e.XLabel == "" {
+			t.Fatalf("experiment %+v missing identification", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Xs) == 0 || len(e.Scenarios) == 0 || e.Apply == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+		if !seen[id] {
+			t.Fatalf("catalog missing paper figure %s", id)
+		}
+	}
+}
+
+func TestPaperFiguresUsePaperTTLs(t *testing.T) {
+	want := []float64{60, 90, 120, 150, 180}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		if len(e.Xs) != len(want) {
+			t.Fatalf("%s sweeps %v, want %v", id, e.Xs, want)
+		}
+		for i := range want {
+			if e.Xs[i] != want[i] {
+				t.Fatalf("%s sweeps %v, want %v", id, e.Xs, want)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig4"); !ok {
+		t.Fatal("fig4 not found")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+	ids := IDs()
+	if len(ids) != len(Catalog()) {
+		t.Fatal("IDs() length mismatch")
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs() not sorted")
+		}
+	}
+}
+
+func TestMetricValues(t *testing.T) {
+	r := sim.Result{}
+	r.AvgDelay = 600
+	r.DeliveryProbability = 0.5
+	r.OverheadRatio = 3
+	if got := MetricAvgDelayMin.value(r); got != 10 {
+		t.Fatalf("delay metric = %v, want 10 minutes", got)
+	}
+	if got := MetricDeliveryProb.value(r); got != 0.5 {
+		t.Fatalf("prob metric = %v", got)
+	}
+	if got := MetricOverhead.value(r); got != 3 {
+		t.Fatalf("overhead metric = %v", got)
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	tbl := Run(tinyExperiment(), Options{
+		Seeds:      []uint64{1, 2, 3},
+		BaseConfig: tinyBase,
+	})
+	if len(tbl.Series) != 2 {
+		t.Fatalf("series count = %d", len(tbl.Series))
+	}
+	for _, s := range tbl.Series {
+		if len(s.Cells) != 2 {
+			t.Fatalf("series %s has %d cells", s.Name, len(s.Cells))
+		}
+		for _, c := range s.Cells {
+			if c.Summary.N != 3 {
+				t.Fatalf("cell aggregated %d runs, want 3", c.Summary.N)
+			}
+			if c.Summary.Mean < 0 || c.Summary.Mean > 1 {
+				t.Fatalf("delivery probability %v out of range", c.Summary.Mean)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	opts := func(workers int) Options {
+		return Options{Seeds: []uint64{1, 2}, Workers: workers, BaseConfig: tinyBase}
+	}
+	serial := Run(tinyExperiment(), opts(1))
+	parallel := Run(tinyExperiment(), opts(8))
+	for si := range serial.Series {
+		for ci := range serial.Series[si].Cells {
+			a := serial.Series[si].Cells[ci].Summary
+			b := parallel.Series[si].Cells[ci].Summary
+			if a != b {
+				t.Fatalf("worker count changed results: %+v vs %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	tbl := Run(tinyExperiment(), Options{Seeds: []uint64{1}, BaseConfig: tinyBase})
+	text := tbl.Render()
+	for _, want := range []string{"tiny", "ttl(min)", "FIFO-FIFO", "Lifetime", "10", "20"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Render() missing %q:\n%s", want, text)
+		}
+	}
+	csv := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "experiment,x,series,mean,ci95,n" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	// 2 series x 2 x-values = 4 data rows.
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv)
+	}
+	for _, l := range lines[1:] {
+		if !strings.HasPrefix(l, "tiny,") {
+			t.Fatalf("CSV row %q missing experiment id", l)
+		}
+	}
+}
+
+func TestScaleShortensRuns(t *testing.T) {
+	exp := tinyExperiment()
+	exp.Xs = []float64{20}
+	full := Run(exp, Options{Seeds: []uint64{1}, BaseConfig: tinyBase})
+	_ = full
+	// Scale is applied to duration; a scaled run must still work and
+	// produce fewer created messages, which we can only observe through
+	// the metric staying in range here.
+	scaled := Run(exp, Options{Seeds: []uint64{1}, Scale: 0.5, BaseConfig: tinyBase})
+	if got := scaled.Series[0].Cells[0].Summary.Mean; got < 0 || got > 1 {
+		t.Fatalf("scaled run metric out of range: %v", got)
+	}
+	if !strings.Contains(scaled.Render(), "scaled run") {
+		t.Fatal("Render does not flag scaled runs")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if len(o.Seeds) != 1 || o.Seeds[0] != 1 {
+		t.Fatalf("default seeds = %v", o.Seeds)
+	}
+	if o.Workers < 1 {
+		t.Fatalf("default workers = %d", o.Workers)
+	}
+	if o.Scale != 1 {
+		t.Fatalf("default scale = %v", o.Scale)
+	}
+	if o.BaseConfig == nil {
+		t.Fatal("default base config nil")
+	}
+}

@@ -1,0 +1,237 @@
+package mobility
+
+import (
+	"testing"
+
+	"vdtn/internal/geo"
+	"vdtn/internal/roadmap"
+	"vdtn/internal/units"
+	"vdtn/internal/xrand"
+)
+
+// paperCfg is the paper's vehicle parameterization: 30-50 km/h,
+// 5-15 min pauses.
+func paperCfg() MapWalkConfig {
+	return MapWalkConfig{
+		SpeedLoMs: units.KmhToMs(30),
+		SpeedHiMs: units.KmhToMs(50),
+		PauseLoS:  units.Minutes(5),
+		PauseHiS:  units.Minutes(15),
+	}
+}
+
+func TestStationary(t *testing.T) {
+	s := Stationary{At: geo.Point{X: 7, Y: 9}}
+	for _, now := range []float64{0, 100, 1e6} {
+		if got := s.Position(now); got != (geo.Point{X: 7, Y: 9}) {
+			t.Fatalf("Position(%v) = %v", now, got)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := map[string]MapWalkConfig{
+		"zero speed":      {SpeedLoMs: 0, SpeedHiMs: 10, PauseHiS: 1},
+		"inverted speed":  {SpeedLoMs: 10, SpeedHiMs: 5, PauseHiS: 1},
+		"negative pause":  {SpeedLoMs: 1, SpeedHiMs: 2, PauseLoS: -1, PauseHiS: 1},
+		"inverted pauses": {SpeedLoMs: 1, SpeedHiMs: 2, PauseLoS: 5, PauseHiS: 1},
+	}
+	for name, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+	if err := paperCfg().Validate(); err != nil {
+		t.Fatalf("paper config rejected: %v", err)
+	}
+}
+
+func TestMapWalkStaysOnMap(t *testing.T) {
+	g := roadmap.HelsinkiLike()
+	w := NewMapWalk(g, xrand.New(1), paperCfg())
+	bounds := g.Bounds()
+	for now := 0.0; now <= units.Hours(2); now += 5 {
+		p := w.Position(now)
+		if !bounds.Contains(p) {
+			t.Fatalf("vehicle left the map at t=%v: %v", now, p)
+		}
+	}
+	if w.Trips() == 0 {
+		t.Fatal("no trips completed in 2 simulated hours")
+	}
+}
+
+func TestMapWalkSpeedEnvelope(t *testing.T) {
+	g := roadmap.HelsinkiLike()
+	cfg := paperCfg()
+	w := NewMapWalk(g, xrand.New(2), cfg)
+	const dt = 1.0
+	prev := w.Position(0)
+	for now := dt; now <= units.Hours(1); now += dt {
+		p := w.Position(now)
+		v := prev.Dist(p) / dt
+		// Straight-line displacement can exceed instantaneous speed only at
+		// polyline corners (the chord cuts the corner is shorter, never
+		// longer), so speed-hi is a hard upper bound.
+		if v > cfg.SpeedHiMs+1e-6 {
+			t.Fatalf("speed %v m/s at t=%v exceeds cap %v", v, now, cfg.SpeedHiMs)
+		}
+		prev = p
+	}
+}
+
+func TestMapWalkPausesAtVertices(t *testing.T) {
+	g := roadmap.Grid(4, 4, 200)
+	cfg := MapWalkConfig{
+		SpeedLoMs: 10, SpeedHiMs: 10,
+		PauseLoS: 100, PauseHiS: 100,
+	}
+	w := NewMapWalk(g, xrand.New(3), cfg)
+	// Sample densely; every time the position is stable for consecutive
+	// samples it must coincide with a map vertex.
+	var prev geo.Point
+	first := true
+	for now := 0.0; now < 5000; now += 1.0 {
+		p := w.Position(now)
+		if !first && p == prev {
+			id := g.NearestVertex(p)
+			if g.Vertex(id).Dist(p) > 1e-6 {
+				t.Fatalf("vehicle paused off-vertex at %v", p)
+			}
+		}
+		prev, first = p, false
+	}
+}
+
+func TestMapWalkDeterminism(t *testing.T) {
+	g := roadmap.HelsinkiLike()
+	w1 := NewMapWalk(g, xrand.New(42), paperCfg())
+	w2 := NewMapWalk(g, xrand.New(42), paperCfg())
+	for now := 0.0; now < units.Hours(1); now += 7 {
+		if p1, p2 := w1.Position(now), w2.Position(now); p1 != p2 {
+			t.Fatalf("trajectories diverge at t=%v: %v vs %v", now, p1, p2)
+		}
+	}
+}
+
+func TestMapWalkSeedsDiffer(t *testing.T) {
+	g := roadmap.HelsinkiLike()
+	w1 := NewMapWalk(g, xrand.New(1), paperCfg())
+	w2 := NewMapWalk(g, xrand.New(2), paperCfg())
+	same := 0
+	samples := 0
+	for now := units.Minutes(10); now < units.Hours(1); now += 60 {
+		samples++
+		if w1.Position(now) == w2.Position(now) {
+			same++
+		}
+	}
+	if same == samples {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+func TestMapWalkTimeReversalPanics(t *testing.T) {
+	g := roadmap.Grid(3, 3, 100)
+	w := NewMapWalk(g, xrand.New(1), paperCfg())
+	w.Position(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time reversal did not panic")
+		}
+	}()
+	w.Position(50)
+}
+
+func TestMapWalkSameInstantQueryOK(t *testing.T) {
+	g := roadmap.Grid(3, 3, 100)
+	w := NewMapWalk(g, xrand.New(1), paperCfg())
+	a := w.Position(100)
+	b := w.Position(100)
+	if a != b {
+		t.Fatalf("same-instant queries differ: %v vs %v", a, b)
+	}
+}
+
+func TestMapWalkContinuity(t *testing.T) {
+	// Position must be continuous: no teleporting between consecutive
+	// fine-grained samples, even across pause/move transitions.
+	g := roadmap.HelsinkiLike()
+	cfg := paperCfg()
+	w := NewMapWalk(g, xrand.New(11), cfg)
+	const dt = 0.5
+	prev := w.Position(0)
+	for now := dt; now < units.Hours(3); now += dt {
+		p := w.Position(now)
+		if step := prev.Dist(p); step > cfg.SpeedHiMs*dt+1e-6 {
+			t.Fatalf("discontinuity at t=%v: jumped %v m in %v s", now, step, dt)
+		}
+		prev = p
+	}
+}
+
+func TestMapWalkInvalidMapPanics(t *testing.T) {
+	g := roadmap.New()
+	a := g.AddVertex(geo.Point{X: 0, Y: 0})
+	b := g.AddVertex(geo.Point{X: 1, Y: 0})
+	c := g.AddVertex(geo.Point{X: 2, Y: 0})
+	g.AddEdge(a, b)
+	_ = c // disconnected
+	defer func() {
+		if recover() == nil {
+			t.Fatal("disconnected map did not panic")
+		}
+	}()
+	NewMapWalk(g, xrand.New(1), paperCfg())
+}
+
+func TestRandomWaypointStaysInArea(t *testing.T) {
+	area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 800})
+	w := NewRandomWaypoint(area, xrand.New(5), MapWalkConfig{
+		SpeedLoMs: 5, SpeedHiMs: 15, PauseLoS: 0, PauseHiS: 30,
+	})
+	for now := 0.0; now < 10000; now += 3 {
+		p := w.Position(now)
+		if !area.Contains(p) {
+			t.Fatalf("waypoint walker left area at t=%v: %v", now, p)
+		}
+	}
+}
+
+func TestRandomWaypointContinuity(t *testing.T) {
+	area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 500, Y: 500})
+	cfg := MapWalkConfig{SpeedLoMs: 5, SpeedHiMs: 10, PauseLoS: 5, PauseHiS: 10}
+	w := NewRandomWaypoint(area, xrand.New(9), cfg)
+	const dt = 0.5
+	prev := w.Position(0)
+	for now := dt; now < 5000; now += dt {
+		p := w.Position(now)
+		if step := prev.Dist(p); step > cfg.SpeedHiMs*dt+1e-6 {
+			t.Fatalf("discontinuity at t=%v: %v m in %v s", now, step, dt)
+		}
+		prev = p
+	}
+}
+
+func TestRandomWaypointTimeReversalPanics(t *testing.T) {
+	area := geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100})
+	w := NewRandomWaypoint(area, xrand.New(1), MapWalkConfig{
+		SpeedLoMs: 1, SpeedHiMs: 2, PauseHiS: 1,
+	})
+	w.Position(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("time reversal did not panic")
+		}
+	}()
+	w.Position(1)
+}
+
+func BenchmarkMapWalkPosition(b *testing.B) {
+	g := roadmap.HelsinkiLike()
+	w := NewMapWalk(g, xrand.New(1), paperCfg())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Position(float64(i))
+	}
+}

@@ -1,0 +1,64 @@
+package reports
+
+import (
+	"testing"
+
+	"vdtn/internal/roadmap"
+	"vdtn/internal/sim"
+	"vdtn/internal/trace"
+	"vdtn/internal/units"
+)
+
+// TestAnalyzeRealRun cross-checks the offline analysis against the
+// authoritative counters of a real simulation run.
+func TestAnalyzeRealRun(t *testing.T) {
+	var lg trace.Log
+	c := sim.DefaultConfig()
+	c.Seed = 5
+	c.Duration = units.Hours(2)
+	c.Map = roadmap.Grid(6, 6, 300)
+	c.Vehicles = 12
+	c.Relays = 2
+	c.VehicleBuffer = units.MB(20)
+	c.RelayBuffer = units.MB(50)
+	c.TTL = units.Minutes(45)
+	c.Trace = lg.Append
+
+	w, err := sim.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+
+	a := Analyze(lg.Events(), c.Duration)
+
+	if a.ContactCount != int(r.Contacts) {
+		t.Fatalf("analysis contacts %d != run %d", a.ContactCount, r.Contacts)
+	}
+	if a.TransfersComplete != int(r.TransfersCompleted) {
+		t.Fatalf("analysis completions %d != run %d", a.TransfersComplete, r.TransfersCompleted)
+	}
+	if a.Created != r.Created {
+		t.Fatalf("analysis created %d != run %d", a.Created, r.Created)
+	}
+	if a.Delivered != r.Delivered {
+		t.Fatalf("analysis delivered %d != run %d", a.Delivered, r.Delivered)
+	}
+	// Fates partition the created messages.
+	total := a.Fates[FateDelivered] + a.Fates[FatePending] + a.Fates[FateDead]
+	if total != a.Created {
+		t.Fatalf("fates sum to %d, created %d", total, a.Created)
+	}
+	// Every delivered message reconstructs to a path that starts at a
+	// vehicle and ends at its destination with >= 1 hop.
+	if a.PathHops.Min < 1 {
+		t.Fatalf("reconstructed path with %v hops", a.PathHops.Min)
+	}
+	// Contact durations are positive and bounded by the run horizon.
+	if a.ContactDuration.Min < 0 || a.ContactDuration.Max > c.Duration {
+		t.Fatalf("contact durations out of range: %+v", a.ContactDuration)
+	}
+	if len(TopPairs(lg.Events(), 3)) == 0 {
+		t.Fatal("no busy pairs in a 2h run")
+	}
+}

@@ -1,0 +1,305 @@
+// Package reports derives offline analyses from a simulation trace — the
+// counterpart of the ONE simulator's report modules. Given the event
+// stream of a run (internal/trace), it reconstructs contact statistics
+// (durations, inter-contact times), transfer outcomes, and per-message
+// fates including delivery-path reconstruction.
+package reports
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vdtn/internal/bundle"
+	"vdtn/internal/stats"
+	"vdtn/internal/trace"
+	"vdtn/internal/units"
+)
+
+// Fate classifies what ultimately happened to a message.
+type Fate int
+
+// Message fates.
+const (
+	// FateDelivered: the message reached its destination.
+	FateDelivered Fate = iota
+	// FatePending: undelivered, but replicas may still exist at the
+	// horizon.
+	FatePending
+	// FateDead: undelivered and every traced replica was dropped or
+	// expired.
+	FateDead
+)
+
+// String names the fate.
+func (f Fate) String() string {
+	switch f {
+	case FateDelivered:
+		return "delivered"
+	case FatePending:
+		return "pending"
+	case FateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("Fate(%d)", int(f))
+	}
+}
+
+// Analysis is the full offline report of one run.
+type Analysis struct {
+	// Horizon is the end-of-run time used to close open contacts.
+	Horizon float64
+
+	// ContactCount is the number of contact-up events.
+	ContactCount int
+	// ContactDuration summarizes contact lengths in seconds (contacts
+	// still open at the horizon are closed there).
+	ContactDuration stats.Summary
+	// InterContact summarizes, per node pair, the gaps between one
+	// contact ending and the next beginning, in seconds.
+	InterContact stats.Summary
+
+	// TransfersStarted/Completed/Aborted count transfer outcomes.
+	TransfersStarted  int
+	TransfersComplete int
+	TransfersAborted  int
+
+	// Created / Delivered count distinct messages; Fates maps each fate
+	// to the number of messages.
+	Created   int
+	Delivered int
+	Fates     map[Fate]int
+
+	// PathHops summarizes reconstructed delivery-path lengths in hops.
+	PathHops stats.Summary
+
+	durations  []float64
+	gaps       []float64
+	delays     []float64
+	pathsByMsg map[bundle.ID][]int
+}
+
+// Delays returns the creation-to-delivery time of every delivered message,
+// in seconds, in message-id order. The slice is freshly allocated.
+func (a *Analysis) Delays() []float64 {
+	out := make([]float64, len(a.delays))
+	copy(out, a.delays)
+	return out
+}
+
+// MedianContactDuration returns the exact median contact length in
+// seconds, or 0 if no contacts closed.
+func (a *Analysis) MedianContactDuration() float64 {
+	if len(a.durations) == 0 {
+		return 0
+	}
+	return stats.Percentile(a.durations, 50)
+}
+
+// MedianInterContact returns the exact median inter-contact gap in
+// seconds, or 0 if no pair met twice.
+func (a *Analysis) MedianInterContact() float64 {
+	if len(a.gaps) == 0 {
+		return 0
+	}
+	return stats.Percentile(a.gaps, 50)
+}
+
+// Analyze derives the report from a run's event stream. horizon is the
+// simulated end time (used to close contacts still up). Events must be in
+// emission order, as trace.Log keeps them.
+func Analyze(events []trace.Event, horizon float64) *Analysis {
+	a := &Analysis{
+		Horizon:    horizon,
+		Fates:      make(map[Fate]int),
+		pathsByMsg: make(map[bundle.ID][]int),
+	}
+
+	type pair [2]int
+	openContacts := make(map[pair]float64) // pair -> up time
+	lastDown := make(map[pair]float64)
+	var durations, gaps []float64
+
+	// Per-message bookkeeping.
+	created := make(map[bundle.ID]int) // id -> source node
+	createdAt := make(map[bundle.ID]float64)
+	delivered := make(map[bundle.ID]bool)
+	liveReplicas := make(map[bundle.ID]int)
+	transfers := make(map[bundle.ID][]edge)
+	deliveredVia := make(map[bundle.ID]edge)
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.ContactUp:
+			k := pair{ev.A, ev.B}
+			openContacts[k] = ev.Time
+			if down, ok := lastDown[k]; ok {
+				gaps = append(gaps, ev.Time-down)
+			}
+			a.ContactCount++
+		case trace.ContactDown:
+			k := pair{ev.A, ev.B}
+			if up, ok := openContacts[k]; ok {
+				durations = append(durations, ev.Time-up)
+				delete(openContacts, k)
+			}
+			lastDown[k] = ev.Time
+		case trace.TransferStart:
+			a.TransfersStarted++
+		case trace.TransferComplete:
+			a.TransfersComplete++
+			transfers[ev.Msg] = append(transfers[ev.Msg], edge{ev.A, ev.B, ev.Time})
+		case trace.TransferAbort:
+			a.TransfersAborted++
+		case trace.Created:
+			created[ev.Msg] = ev.A
+			createdAt[ev.Msg] = ev.Time
+			liveReplicas[ev.Msg]++
+		case trace.Delivered:
+			if !delivered[ev.Msg] {
+				delivered[ev.Msg] = true
+				deliveredVia[ev.Msg] = edge{ev.A, ev.B, ev.Time}
+			}
+		case trace.RelayAccepted:
+			liveReplicas[ev.Msg]++
+		case trace.Dropped, trace.Expired:
+			liveReplicas[ev.Msg]--
+		}
+	}
+	// Close contacts still open at the horizon.
+	for _, up := range openContacts {
+		durations = append(durations, horizon-up)
+	}
+
+	a.Created = len(created)
+	a.Delivered = len(delivered)
+	a.durations = durations
+	a.gaps = gaps
+	if len(durations) > 0 {
+		a.ContactDuration = stats.Summarize(durations)
+	}
+	if len(gaps) > 0 {
+		a.InterContact = stats.Summarize(gaps)
+	}
+
+	// Fates, delays and delivery paths, in deterministic id order.
+	ids := make([]bundle.ID, 0, len(created))
+	for id := range created {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var hops []float64
+	for _, id := range ids {
+		src := created[id]
+		switch {
+		case delivered[id]:
+			a.Fates[FateDelivered]++
+			a.delays = append(a.delays, deliveredVia[id].time-createdAt[id])
+			path := reconstructPath(src, deliveredVia[id], transfers[id])
+			a.pathsByMsg[id] = path
+			hops = append(hops, float64(len(path)-1))
+		case liveReplicas[id] > 0:
+			a.Fates[FatePending]++
+		default:
+			a.Fates[FateDead]++
+		}
+	}
+	if len(hops) > 0 {
+		a.PathHops = stats.Summarize(hops)
+	}
+	return a
+}
+
+// edge is one completed transfer of a message: from -> to at time.
+type edge struct {
+	from, to int
+	time     float64
+}
+
+// reconstructPath walks transfer edges backwards from the delivering hop
+// to the source. When several replicas could have fed a hop, the latest
+// transfer before the hop is taken (the replica actually present). The
+// returned path lists node ids source-first, destination-last.
+func reconstructPath(src int, final edge, edges []edge) []int {
+	path := []int{final.to, final.from}
+	at, t := final.from, final.time
+	for at != src {
+		var best *edge
+		for i := range edges {
+			e := edges[i]
+			if e.to == at && e.time < t && (best == nil || e.time > best.time) {
+				best = &edges[i]
+			}
+		}
+		if best == nil {
+			break // trace truncated; return the partial path
+		}
+		at, t = best.from, best.time
+		path = append(path, at)
+	}
+	// Reverse into source-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// DeliveryPath returns the reconstructed node path of a delivered message
+// (source first, destination last), or nil if the message was not
+// delivered.
+func (a *Analysis) DeliveryPath(id bundle.ID) []int {
+	return a.pathsByMsg[id]
+}
+
+// String renders the analysis as a readable block.
+func (a *Analysis) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "contacts        %d (mean %s, median %s, max %s)\n",
+		a.ContactCount,
+		units.FormatDuration(a.ContactDuration.Mean),
+		units.FormatDuration(a.MedianContactDuration()),
+		units.FormatDuration(a.ContactDuration.Max))
+	if len(a.gaps) > 0 {
+		fmt.Fprintf(&sb, "inter-contact   mean %s, median %s over %d gaps\n",
+			units.FormatDuration(a.InterContact.Mean),
+			units.FormatDuration(a.MedianInterContact()), len(a.gaps))
+	}
+	fmt.Fprintf(&sb, "transfers       %d started, %d completed, %d aborted\n",
+		a.TransfersStarted, a.TransfersComplete, a.TransfersAborted)
+	fmt.Fprintf(&sb, "messages        %d created, %d delivered", a.Created, a.Delivered)
+	fmt.Fprintf(&sb, " (%d pending, %d dead)\n", a.Fates[FatePending], a.Fates[FateDead])
+	if a.Delivered > 0 {
+		fmt.Fprintf(&sb, "delivery paths  %.2f hops mean, %.0f max\n",
+			a.PathHops.Mean, a.PathHops.Max)
+	}
+	return sb.String()
+}
+
+// TopPairs returns the k node pairs with the most contacts, busiest
+// first (ties by pair order).
+func TopPairs(events []trace.Event, k int) [][2]int {
+	counts := make(map[[2]int]int)
+	for _, ev := range events {
+		if ev.Kind == trace.ContactUp {
+			counts[[2]int{ev.A, ev.B}]++
+		}
+	}
+	pairs := make([][2]int, 0, len(counts))
+	for p := range counts {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		ci, cj := counts[pairs[i]], counts[pairs[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	if k < len(pairs) {
+		pairs = pairs[:k]
+	}
+	return pairs
+}

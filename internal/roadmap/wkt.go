@@ -1,0 +1,147 @@
+package roadmap
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vdtn/internal/geo"
+)
+
+// ParseWKT builds a graph from Well-Known-Text map data, the format the ONE
+// simulator ships its Helsinki maps in. Supported geometries are LINESTRING
+// and MULTILINESTRING; each consecutive coordinate pair in a linestring
+// becomes a road edge, and junction vertices are deduplicated by coordinate.
+// Blank lines and lines starting with '#' are ignored. Other geometry types
+// (POINT, POLYGON, ...) are rejected so that a mis-exported file fails
+// loudly rather than producing an empty map.
+func ParseWKT(text string) (*Graph, error) {
+	g := New()
+	lineNo := 0
+	for _, raw := range strings.Split(text, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "MULTILINESTRING"):
+			body, err := wktBody(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			for _, part := range splitParenGroups(body) {
+				if err := addLinestring(g, part); err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+			}
+		case strings.HasPrefix(upper, "LINESTRING"):
+			body, err := wktBody(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if err := addLinestring(g, body); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unsupported WKT geometry %q", lineNo, firstWord(line))
+		}
+	}
+	if g.VertexCount() == 0 {
+		return nil, fmt.Errorf("roadmap: WKT input contained no road geometry")
+	}
+	return g, nil
+}
+
+// wktBody strips the geometry keyword and one outer level of parentheses:
+// "LINESTRING (1 2, 3 4)" -> "1 2, 3 4".
+func wktBody(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed WKT: missing parentheses in %q", line)
+	}
+	return line[open+1 : close], nil
+}
+
+// splitParenGroups splits "(a), (b), (c)" into ["a", "b", "c"].
+func splitParenGroups(body string) []string {
+	var out []string
+	depth := 0
+	start := -1
+	for i, r := range body {
+		switch r {
+		case '(':
+			if depth == 0 {
+				start = i + 1
+			}
+			depth++
+		case ')':
+			depth--
+			if depth == 0 && start >= 0 {
+				out = append(out, body[start:i])
+				start = -1
+			}
+		}
+	}
+	if len(out) == 0 && strings.TrimSpace(body) != "" {
+		// A MULTILINESTRING with a single unparenthesised part.
+		out = append(out, body)
+	}
+	return out
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " (\t"); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// addLinestring parses "x1 y1, x2 y2, ..." and adds the chain to the graph.
+func addLinestring(g *Graph, body string) error {
+	coords := strings.Split(body, ",")
+	if len(coords) < 2 {
+		return fmt.Errorf("linestring needs at least 2 points, got %d", len(coords))
+	}
+	prev := -1
+	for _, c := range coords {
+		fields := strings.Fields(strings.TrimSpace(c))
+		if len(fields) < 2 {
+			return fmt.Errorf("bad coordinate %q", c)
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return fmt.Errorf("bad x coordinate %q: %v", fields[0], err)
+		}
+		y, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad y coordinate %q: %v", fields[1], err)
+		}
+		id := g.AddVertex(geo.Point{X: x, Y: y})
+		if prev >= 0 {
+			g.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	return nil
+}
+
+// ExportWKT renders the graph as one LINESTRING per edge, a form every WKT
+// consumer accepts. Vertex coordinates are written with millimetre
+// precision, which round-trips through ParseWKT (snap tolerance 1 mm).
+func ExportWKT(g *Graph) string {
+	var sb strings.Builder
+	sb.WriteString("# vdtn roadmap export: one LINESTRING per road edge\n")
+	for a := 0; a < g.VertexCount(); a++ {
+		for _, e := range g.adj[a] {
+			if e.to < a {
+				continue
+			}
+			pa, pb := g.Vertex(a), g.Vertex(e.to)
+			fmt.Fprintf(&sb, "LINESTRING (%.3f %.3f, %.3f %.3f)\n", pa.X, pa.Y, pb.X, pb.Y)
+		}
+	}
+	return sb.String()
+}

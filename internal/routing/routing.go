@@ -1,0 +1,127 @@
+// Package routing implements the DTN routing protocols the paper evaluates:
+// Epidemic and binary Spray-and-Wait (whose transmission order and eviction
+// are governed by the pluggable scheduling/dropping policies of
+// internal/core), plus MaxProp and PRoPHET (which carry their own
+// scheduling and dropping machinery), and two classic baselines
+// (DirectDelivery, FirstContact).
+//
+// Routers are decision-makers: the simulator (internal/sim) owns contacts,
+// transfers, delivery bookkeeping and statistics, and consults the router
+// at each step — what to send next to a peer, what to do after a transfer,
+// whether to accept an incoming replica. This keeps every protocol unit-
+// testable without a full simulation.
+//
+// Protocol metadata exchange (PRoPHET predictability vectors, MaxProp
+// likelihood vectors and ack lists) happens by direct access to the peer's
+// router at contact time. This is the standard simulator shortcut (the ONE
+// does the same): the metadata is tiny compared to bundles, and modelling
+// its airtime would only add a constant setup cost per contact.
+package routing
+
+import (
+	"vdtn/internal/buffer"
+	"vdtn/internal/bundle"
+)
+
+// Peer is a router's view of a node it is currently in contact with.
+type Peer interface {
+	// ID returns the remote node id.
+	ID() int
+	// Has reports whether the remote buffer holds a replica of id.
+	Has(id bundle.ID) bool
+	// HasDelivered reports whether the remote node, as destination,
+	// has already received id.
+	HasDelivered(id bundle.ID) bool
+	// Router returns the remote router, for protocol metadata exchange.
+	Router() Router
+}
+
+// Send is one transmission decision: which buffered replica to put on the
+// wire and, for copy-budget protocols, how many logical copies the receiver
+// will own (0 means the protocol default of 1).
+type Send struct {
+	Msg            *bundle.Message
+	TransferCopies int
+}
+
+// Router is a DTN routing protocol instance bound to one node.
+type Router interface {
+	// Name returns the protocol name as used in reports ("Epidemic", ...).
+	Name() string
+
+	// Attach binds the router to its node. Called exactly once before any
+	// other method.
+	Attach(self int, buf *buffer.Store)
+
+	// ContactUp tells the router a contact with p began.
+	ContactUp(now float64, p Peer)
+
+	// ContactDown tells the router the contact with p ended.
+	ContactDown(now float64, p Peer)
+
+	// Refresh rebuilds the send queue for the ongoing contact with p
+	// without applying any protocol state updates (no encounter boosts,
+	// no metadata exchange). The simulator calls it when the buffer gained
+	// messages mid-contact — a newly created message, or a replica relayed
+	// in from a third node — so they become eligible on the live contact,
+	// as they would in a continuously re-evaluating simulator.
+	Refresh(now float64, p Peer)
+
+	// NextSend returns the next transmission for p, or nil if the router
+	// has nothing (more) to offer p right now. The returned message must
+	// be in the router's buffer.
+	NextSend(now float64, p Peer) *Send
+
+	// OnSent reports that the transfer of s to p completed. delivered is
+	// true when p was the message destination.
+	OnSent(now float64, p Peer, s *Send, delivered bool)
+
+	// OnAbort reports that the transfer of s to p was cut by contact loss.
+	OnAbort(now float64, p Peer, s *Send)
+
+	// Receive offers an incoming replica m (already stamped by
+	// Message.ForwardTo) arriving from p. It returns whether the replica
+	// was stored and any replicas evicted to make room.
+	Receive(now float64, m *bundle.Message, from Peer) (accepted bool, evicted []*bundle.Message)
+
+	// AddMessage injects a locally created message (the traffic source).
+	AddMessage(now float64, m *bundle.Message) (accepted bool, evicted []*bundle.Message)
+}
+
+// queueSet tracks per-peer send queues between ContactUp and ContactDown.
+// Queues hold buffered replicas in transmission order; entries are
+// revalidated at pop time because buffer contents change while queued
+// (TTL expiry, evictions, copies delivered elsewhere).
+type queueSet struct {
+	queues map[int][]*bundle.Message
+}
+
+func newQueueSet() queueSet {
+	return queueSet{queues: make(map[int][]*bundle.Message)}
+}
+
+func (q *queueSet) set(peer int, msgs []*bundle.Message) { q.queues[peer] = msgs }
+
+func (q *queueSet) drop(peer int) { delete(q.queues, peer) }
+
+// pop returns the first queued message satisfying valid, discarding
+// entries that fail it. Returns nil when the queue is exhausted.
+func (q *queueSet) pop(peer int, valid func(*bundle.Message) bool) *bundle.Message {
+	queue := q.queues[peer]
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		if valid(m) {
+			q.queues[peer] = queue
+			return m
+		}
+	}
+	q.queues[peer] = queue
+	return nil
+}
+
+// push re-queues a message at the front (used after an aborted transfer so
+// the replica is retried first if the contact resumes).
+func (q *queueSet) push(peer int, m *bundle.Message) {
+	q.queues[peer] = append([]*bundle.Message{m}, q.queues[peer]...)
+}

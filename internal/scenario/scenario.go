@@ -1,0 +1,255 @@
+// Package scenario persists simulation configurations as JSON files, so
+// scenarios can be versioned, shared and rerun byte-identically. The file
+// schema speaks scenario-facing units (minutes, MB, km/h, Mbit/s) and is
+// converted to the simulator's SI-unit Config on load.
+//
+// Config fields that cannot be serialized — a custom router factory, a
+// trace callback, an in-memory map graph — are deliberately outside the
+// schema; files describe the declarative part of a scenario, and callers
+// attach code afterwards. Contact plans and scripted traffic are inlined.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"vdtn/internal/contactplan"
+	"vdtn/internal/sim"
+	"vdtn/internal/units"
+)
+
+// File is the on-disk scenario schema. Zero-valued fields inherit the
+// paper defaults (sim.DefaultConfig) on load.
+type File struct {
+	// Name is a free-form label carried into run output.
+	Name string `json:"name,omitempty"`
+	Seed uint64 `json:"seed,omitempty"`
+
+	DurationHours float64 `json:"duration_hours,omitempty"`
+	WarmupMin     float64 `json:"warmup_min,omitempty"`
+
+	Vehicles        int     `json:"vehicles,omitempty"`
+	Relays          int     `json:"relays,omitempty"`
+	VehicleBufferMB float64 `json:"vehicle_buffer_mb,omitempty"`
+	RelayBufferMB   float64 `json:"relay_buffer_mb,omitempty"`
+
+	SpeedLoKmh float64 `json:"speed_lo_kmh,omitempty"`
+	SpeedHiKmh float64 `json:"speed_hi_kmh,omitempty"`
+	PauseLoMin float64 `json:"pause_lo_min,omitempty"`
+	PauseHiMin float64 `json:"pause_hi_min,omitempty"`
+
+	RangeM   float64 `json:"range_m,omitempty"`
+	RateMbit float64 `json:"rate_mbit,omitempty"`
+	ScanSec  float64 `json:"scan_sec,omitempty"`
+
+	MsgIntervalLoSec float64 `json:"msg_interval_lo_sec,omitempty"`
+	MsgIntervalHiSec float64 `json:"msg_interval_hi_sec,omitempty"`
+	MsgSizeLoKB      float64 `json:"msg_size_lo_kb,omitempty"`
+	MsgSizeHiKB      float64 `json:"msg_size_hi_kb,omitempty"`
+	TTLMin           float64 `json:"ttl_min,omitempty"`
+
+	Protocol    string `json:"protocol,omitempty"` // epidemic|spraywait|spraywaitvanilla|maxprop|prophet|direct|firstcontact
+	Policy      string `json:"policy,omitempty"`   // fifo|random|lifetime|size|hopmofo|oldestage
+	SprayCopies int    `json:"spray_copies,omitempty"`
+
+	// Contacts switches to contact-plan mode when non-empty.
+	Contacts []Window `json:"contacts,omitempty"`
+	// Script replaces random traffic when non-empty.
+	Script []Message `json:"script,omitempty"`
+}
+
+// Window is one contact window in the schema.
+type Window struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+}
+
+// Message is one scripted message in the schema.
+type Message struct {
+	TimeSec float64 `json:"time_sec"`
+	From    int     `json:"from"`
+	To      int     `json:"to"`
+	SizeKB  float64 `json:"size_kb"`
+}
+
+var protocolNames = map[string]sim.ProtocolKind{
+	"epidemic":         sim.ProtoEpidemic,
+	"spraywait":        sim.ProtoSprayAndWait,
+	"spraywaitvanilla": sim.ProtoSprayAndWaitVanilla,
+	"maxprop":          sim.ProtoMaxProp,
+	"prophet":          sim.ProtoPRoPHET,
+	"direct":           sim.ProtoDirectDelivery,
+	"firstcontact":     sim.ProtoFirstContact,
+}
+
+var policyNames = map[string]sim.PolicyKind{
+	"fifo":      sim.PolicyFIFOFIFO,
+	"random":    sim.PolicyRandomFIFO,
+	"lifetime":  sim.PolicyLifetime,
+	"size":      sim.PolicySize,
+	"hopmofo":   sim.PolicyHopMOFO,
+	"oldestage": sim.PolicyFIFOOldestAge,
+}
+
+// Load parses JSON into a validated sim.Config.
+func Load(data []byte) (sim.Config, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return sim.Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	return f.Config()
+}
+
+// Config converts the file into a validated sim.Config, applying paper
+// defaults for zero-valued fields.
+func (f File) Config() (sim.Config, error) {
+	c := sim.DefaultConfig()
+	if f.Seed != 0 {
+		c.Seed = f.Seed
+	}
+	if f.DurationHours != 0 {
+		c.Duration = units.Hours(f.DurationHours)
+	}
+	c.Warmup = units.Minutes(f.WarmupMin)
+	if f.Vehicles != 0 {
+		c.Vehicles = f.Vehicles
+	}
+	if f.Relays != 0 || f.Contacts != nil {
+		c.Relays = f.Relays
+	}
+	if f.VehicleBufferMB != 0 {
+		c.VehicleBuffer = units.MB(f.VehicleBufferMB)
+	}
+	if f.RelayBufferMB != 0 {
+		c.RelayBuffer = units.MB(f.RelayBufferMB)
+	}
+	if f.SpeedLoKmh != 0 {
+		c.SpeedLo = units.KmhToMs(f.SpeedLoKmh)
+	}
+	if f.SpeedHiKmh != 0 {
+		c.SpeedHi = units.KmhToMs(f.SpeedHiKmh)
+	}
+	if f.PauseLoMin != 0 {
+		c.PauseLo = units.Minutes(f.PauseLoMin)
+	}
+	if f.PauseHiMin != 0 {
+		c.PauseHi = units.Minutes(f.PauseHiMin)
+	}
+	if f.RangeM != 0 {
+		c.Range = f.RangeM
+	}
+	if f.RateMbit != 0 {
+		c.Rate = units.Mbit(f.RateMbit)
+	}
+	if f.ScanSec != 0 {
+		c.ScanInterval = f.ScanSec
+	}
+	if f.MsgIntervalLoSec != 0 {
+		c.MsgIntervalLo = f.MsgIntervalLoSec
+	}
+	if f.MsgIntervalHiSec != 0 {
+		c.MsgIntervalHi = f.MsgIntervalHiSec
+	}
+	if f.MsgSizeLoKB != 0 {
+		c.MsgSizeLo = units.KB(f.MsgSizeLoKB)
+	}
+	if f.MsgSizeHiKB != 0 {
+		c.MsgSizeHi = units.KB(f.MsgSizeHiKB)
+	}
+	if f.TTLMin != 0 {
+		c.TTL = units.Minutes(f.TTLMin)
+	}
+	if f.Protocol != "" {
+		p, ok := protocolNames[f.Protocol]
+		if !ok {
+			return sim.Config{}, fmt.Errorf("scenario: unknown protocol %q", f.Protocol)
+		}
+		c.Protocol = p
+	}
+	if f.Policy != "" {
+		p, ok := policyNames[f.Policy]
+		if !ok {
+			return sim.Config{}, fmt.Errorf("scenario: unknown policy %q", f.Policy)
+		}
+		c.Policy = p
+	}
+	if f.SprayCopies != 0 {
+		c.SprayCopies = f.SprayCopies
+	}
+	if len(f.Contacts) > 0 {
+		cs := make([]contactplan.Contact, len(f.Contacts))
+		for i, w := range f.Contacts {
+			cs[i] = contactplan.Contact{A: w.A, B: w.B, Start: w.Start, End: w.End}
+		}
+		plan, err := contactplan.New(cs)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		c.Plan = plan
+	}
+	for _, m := range f.Script {
+		c.Script = append(c.Script, sim.ScriptedMessage{
+			Time: m.TimeSec,
+			From: m.From,
+			To:   m.To,
+			Size: units.KB(m.SizeKB),
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return c, nil
+}
+
+// Save renders a Config back into indented JSON. Fields that match the
+// paper defaults are written anyway, so the file is a complete record.
+// Custom router factories, trace callbacks and in-memory maps are not
+// representable and are silently omitted.
+func Save(name string, c sim.Config) ([]byte, error) {
+	f := File{
+		Name:             name,
+		Seed:             c.Seed,
+		DurationHours:    c.Duration / 3600,
+		WarmupMin:        c.Warmup / 60,
+		Vehicles:         c.Vehicles,
+		Relays:           c.Relays,
+		VehicleBufferMB:  float64(c.VehicleBuffer) / 1e6,
+		RelayBufferMB:    float64(c.RelayBuffer) / 1e6,
+		SpeedLoKmh:       units.MsToKmh(c.SpeedLo),
+		SpeedHiKmh:       units.MsToKmh(c.SpeedHi),
+		PauseLoMin:       c.PauseLo / 60,
+		PauseHiMin:       c.PauseHi / 60,
+		RangeM:           c.Range,
+		RateMbit:         float64(c.Rate) / 1e6,
+		ScanSec:          c.ScanInterval,
+		MsgIntervalLoSec: c.MsgIntervalLo,
+		MsgIntervalHiSec: c.MsgIntervalHi,
+		MsgSizeLoKB:      float64(c.MsgSizeLo) / 1e3,
+		MsgSizeHiKB:      float64(c.MsgSizeHi) / 1e3,
+		TTLMin:           c.TTL / 60,
+		SprayCopies:      c.SprayCopies,
+	}
+	for name, kind := range protocolNames {
+		if kind == c.Protocol {
+			f.Protocol = name
+		}
+	}
+	for name, kind := range policyNames {
+		if kind == c.Policy {
+			f.Policy = name
+		}
+	}
+	if c.Plan != nil {
+		for _, w := range c.Plan.Windows() {
+			f.Contacts = append(f.Contacts, Window{Start: w.Start, End: w.End, A: w.A, B: w.B})
+		}
+	}
+	for _, m := range c.Script {
+		f.Script = append(f.Script, Message{
+			TimeSec: m.Time, From: m.From, To: m.To, SizeKB: float64(m.Size) / 1e3,
+		})
+	}
+	return json.MarshalIndent(f, "", "  ")
+}

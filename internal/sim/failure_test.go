@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"vdtn/internal/contactplan"
+	"vdtn/internal/units"
+)
+
+// Failure-injection tests: drive the simulator through the unhappy paths —
+// refusals, evictions racing in-flight transfers, saturated buffers — and
+// check the system degrades by the rules instead of breaking.
+
+func TestRejectingRelaysStillDeliverDirect(t *testing.T) {
+	// Relay buffers smaller than any message: every relay store fails,
+	// but vehicle-to-vehicle delivery keeps working and the refusals are
+	// accounted as rejected relays, not silent losses.
+	c := quickConfig(61)
+	c.RelayBuffer = units.KB(100) // below MsgSizeLo: nothing fits
+	r := mustRun(t, c)
+	if r.Delivered == 0 {
+		t.Fatal("tiny relay buffers killed all delivery")
+	}
+	if r.RelayRejected == 0 {
+		t.Fatal("no rejected relays recorded despite unusable relay buffers")
+	}
+}
+
+func TestEvictionDuringTransferStillDelivers(t *testing.T) {
+	// Node 0's buffer holds exactly one 1.5 MB message. While it is being
+	// transmitted (window opens at 10, transfer takes 2 s), a second
+	// message is created at t=10.5 and evicts the first from the buffer.
+	// The in-flight bytes are already committed: the delivery must land.
+	plan, err := contactplan.New([]contactplan.Contact{{A: 0, B: 1, Start: 10, End: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.Plan = plan
+	c.Vehicles = 2
+	c.Relays = 0
+	c.Duration = units.Hours(1)
+	c.TTL = units.Minutes(30)
+	c.VehicleBuffer = units.MB(2) // fits one message at a time
+	c.Script = []ScriptedMessage{
+		{Time: 0, From: 0, To: 1, Size: units.MB(1.5)},
+		{Time: 10.5, From: 0, To: 1, Size: units.MB(1.5)},
+	}
+	r := mustRun(t, c)
+	if r.Dropped == 0 {
+		t.Fatal("second message did not evict the first (test setup broken)")
+	}
+	// M1 delivers from the wire; M2 delivers afterwards over the long
+	// window. Both must make it.
+	if r.Delivered != 2 {
+		t.Fatalf("delivered %d of 2 (in-flight eviction lost a message)", r.Delivered)
+	}
+}
+
+func TestSaturatedNetworkStaysConsistent(t *testing.T) {
+	// Starvation regime: buffers fit barely two messages, traffic is 5x
+	// the paper's rate, TTLs are short. The run must stay internally
+	// consistent (no duplicate deliveries, accounting intact) even while
+	// dropping most of the load.
+	c := quickConfig(63)
+	c.VehicleBuffer = units.MB(4)
+	c.RelayBuffer = units.MB(4)
+	c.MsgIntervalLo = 3
+	c.MsgIntervalHi = 6
+	c.TTL = units.Minutes(15)
+	r := mustRun(t, c)
+	if r.Dropped == 0 || r.Expired == 0 {
+		t.Fatalf("saturation not reached: dropped=%d expired=%d", r.Dropped, r.Expired)
+	}
+	if r.DeliveredDuplicate != 0 {
+		t.Fatalf("%d duplicate deliveries under churn", r.DeliveredDuplicate)
+	}
+	if r.Delivered > r.Created {
+		t.Fatalf("delivered %d > created %d", r.Delivered, r.Created)
+	}
+}
+
+func TestZeroRelaysScenario(t *testing.T) {
+	c := quickConfig(65)
+	c.Relays = 0
+	r := mustRun(t, c)
+	if r.Delivered == 0 {
+		t.Fatal("no delivery without relays (vehicle-to-vehicle must suffice)")
+	}
+}
+
+func TestMessageLargerThanEveryBuffer(t *testing.T) {
+	// A scripted message bigger than the source buffer is rejected at
+	// creation: counted as created and rejected, never delivered.
+	plan, err := contactplan.New([]contactplan.Contact{{A: 0, B: 1, Start: 5, End: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.Plan = plan
+	c.Vehicles = 2
+	c.Relays = 0
+	c.Duration = units.Minutes(10)
+	c.TTL = units.Minutes(5)
+	c.VehicleBuffer = units.MB(1)
+	c.Script = []ScriptedMessage{{Time: 0, From: 0, To: 1, Size: units.MB(5)}}
+	r := mustRun(t, c)
+	if r.Created != 1 || r.CreateRejected != 1 {
+		t.Fatalf("created=%d rejected=%d, want 1/1", r.Created, r.CreateRejected)
+	}
+	if r.Delivered != 0 {
+		t.Fatal("unstorable message delivered")
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"vdtn/internal/buffer"
+	"vdtn/internal/bundle"
+	"vdtn/internal/geo"
+	"vdtn/internal/mobility"
+	"vdtn/internal/routing"
+)
+
+// Kind distinguishes the two node classes of the scenario.
+type Kind int
+
+// Node classes.
+const (
+	Vehicle Kind = iota
+	Relay
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Relay {
+		return "relay"
+	}
+	return "vehicle"
+}
+
+// Node is one network participant: mobility + buffer + router + the
+// delivery bookkeeping of the node as a destination.
+type Node struct {
+	id     int
+	kind   Kind
+	mob    mobility.Model
+	buf    *buffer.Store
+	router routing.Router
+
+	// delivered records message ids this node received as destination,
+	// with the delivery time; the node refuses duplicates forever after.
+	delivered map[bundle.ID]float64
+}
+
+func newNode(id int, kind Kind, mob mobility.Model, buf *buffer.Store, r routing.Router) *Node {
+	n := &Node{
+		id:        id,
+		kind:      kind,
+		mob:       mob,
+		buf:       buf,
+		router:    r,
+		delivered: make(map[bundle.ID]float64),
+	}
+	r.Attach(id, buf)
+	return n
+}
+
+// ID implements wireless.Entity.
+func (n *Node) ID() int { return n.id }
+
+// Position implements wireless.Entity.
+func (n *Node) Position(now float64) geo.Point { return n.mob.Position(now) }
+
+// Kind returns the node class.
+func (n *Node) Kind() Kind { return n.kind }
+
+// Router returns the node's routing protocol instance.
+func (n *Node) Router() routing.Router { return n.router }
+
+// Buffer returns the node's message store.
+func (n *Node) Buffer() *buffer.Store { return n.buf }
+
+// DeliveredCount returns how many distinct messages this node has received
+// as their destination.
+func (n *Node) DeliveredCount() int { return len(n.delivered) }
+
+// markDelivered records the first arrival of id; it reports whether this
+// was indeed the first.
+func (n *Node) markDelivered(id bundle.ID, now float64) bool {
+	if _, dup := n.delivered[id]; dup {
+		return false
+	}
+	n.delivered[id] = now
+	return true
+}
+
+// peerView adapts a Node into the routing.Peer a remote router sees.
+type peerView struct {
+	n *Node
+}
+
+// ID implements routing.Peer.
+func (p peerView) ID() int { return p.n.id }
+
+// Has implements routing.Peer.
+func (p peerView) Has(id bundle.ID) bool { return p.n.buf.Has(id) }
+
+// HasDelivered implements routing.Peer.
+func (p peerView) HasDelivered(id bundle.ID) bool {
+	_, ok := p.n.delivered[id]
+	return ok
+}
+
+// Router implements routing.Peer.
+func (p peerView) Router() routing.Router { return p.n.router }

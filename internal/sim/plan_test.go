@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"vdtn/internal/contactplan"
+	"vdtn/internal/units"
+)
+
+// planConfig builds a minimal contact-plan scenario with n nodes.
+func planConfig(t *testing.T, n int, windows []contactplan.Contact, script []ScriptedMessage) Config {
+	t.Helper()
+	plan, err := contactplan.New(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.Plan = plan
+	c.Script = script
+	c.Vehicles = n
+	c.Relays = 0
+	c.Duration = units.Hours(1)
+	c.VehicleBuffer = units.MB(50)
+	c.TTL = units.Minutes(45)
+	return c
+}
+
+func TestPlanExactDeliveryTiming(t *testing.T) {
+	// One window [10, 100] between nodes 0 and 1; a 1.5 MB message
+	// (= 2 s at 6 Mbit/s) created at t=5 from 0 to 1. The transfer starts
+	// the moment the contact rises, so delivery lands at t=12 and the
+	// delay is exactly 7 s.
+	c := planConfig(t, 2,
+		[]contactplan.Contact{{A: 0, B: 1, Start: 10, End: 100}},
+		[]ScriptedMessage{{Time: 5, From: 0, To: 1, Size: units.MB(1.5)}})
+	r := mustRun(t, c)
+	if r.Created != 1 || r.Delivered != 1 {
+		t.Fatalf("created %d delivered %d", r.Created, r.Delivered)
+	}
+	if math.Abs(r.AvgDelay-7) > 1e-9 {
+		t.Fatalf("delay = %v s, want exactly 7", r.AvgDelay)
+	}
+}
+
+func TestPlanWindowTooShortAborts(t *testing.T) {
+	// A 7.5 MB message needs 10 s at 6 Mbit/s; the window lasts 3 s.
+	c := planConfig(t, 2,
+		[]contactplan.Contact{{A: 0, B: 1, Start: 10, End: 13}},
+		[]ScriptedMessage{{Time: 5, From: 0, To: 1, Size: units.MB(7.5)}})
+	r := mustRun(t, c)
+	if r.Delivered != 0 {
+		t.Fatal("impossible delivery")
+	}
+	if r.Aborted != 1 {
+		t.Fatalf("Aborted = %d, want 1", r.Aborted)
+	}
+}
+
+func TestPlanRelayChainEpidemic(t *testing.T) {
+	// 0 meets 1, later 1 meets 2: the message reaches 2 through 1's
+	// buffer. Delivery at 30 (window) + 2 s (transfer) = 32.
+	c := planConfig(t, 3,
+		[]contactplan.Contact{
+			{A: 0, B: 1, Start: 10, End: 20},
+			{A: 1, B: 2, Start: 30, End: 40},
+		},
+		[]ScriptedMessage{{Time: 0, From: 0, To: 2, Size: units.MB(1.5)}})
+	r := mustRun(t, c)
+	if r.Delivered != 1 {
+		t.Fatalf("store-carry-forward failed: %+v", r.Report)
+	}
+	if math.Abs(r.AvgDelay-32) > 1e-9 {
+		t.Fatalf("delay = %v, want 32", r.AvgDelay)
+	}
+	if r.AvgHops != 2 {
+		t.Fatalf("hops = %v, want 2", r.AvgHops)
+	}
+}
+
+func TestPlanDirectDeliveryCannotRelay(t *testing.T) {
+	c := planConfig(t, 3,
+		[]contactplan.Contact{
+			{A: 0, B: 1, Start: 10, End: 20},
+			{A: 1, B: 2, Start: 30, End: 40},
+		},
+		[]ScriptedMessage{{Time: 0, From: 0, To: 2, Size: units.MB(1)}})
+	c.Protocol = ProtoDirectDelivery
+	r := mustRun(t, c)
+	if r.Delivered != 0 {
+		t.Fatal("DirectDelivery delivered through a relay")
+	}
+}
+
+func TestPlanSprayAndWaitBudgetSplit(t *testing.T) {
+	// Node 0 sprays a 12-copy message to 1, 2, 3 in disjoint windows.
+	// Binary splitting leaves budgets 0:2? — walk it: 12 -> give 6 keep 6;
+	// 6 -> give 3 keep 3; 3 -> give 1 keep 2.
+	c := planConfig(t, 5,
+		[]contactplan.Contact{
+			{A: 0, B: 1, Start: 10, End: 20},
+			{A: 0, B: 2, Start: 30, End: 40},
+			{A: 0, B: 3, Start: 50, End: 60},
+		},
+		[]ScriptedMessage{{Time: 0, From: 0, To: 4, Size: units.MB(1)}})
+	c.Protocol = ProtoSprayAndWait
+	c.SprayCopies = 12
+	c.TTL = units.Hours(2) // outlive the run so end-state budgets are inspectable
+
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	want := map[int]int{0: 2, 1: 6, 2: 3, 3: 1}
+	total := 0
+	for node, copies := range want {
+		m, ok := w.Node(node).Buffer().Get(1)
+		if !ok {
+			t.Fatalf("node %d lost its replica", node)
+		}
+		if m.Copies != copies {
+			t.Errorf("node %d holds %d copies, want %d", node, m.Copies, copies)
+		}
+		total += m.Copies
+	}
+	if total != 12 {
+		t.Fatalf("budget not conserved: %d", total)
+	}
+}
+
+func TestPlanBusySerializesTransfers(t *testing.T) {
+	// Two simultaneous windows from node 0; two messages. The single
+	// radio serializes: first delivery at 12, second at 14. DirectDelivery
+	// keeps the timing exact (Epidemic would also replicate each message
+	// to the other neighbour, occupying the radio in between).
+	c := planConfig(t, 3,
+		[]contactplan.Contact{
+			{A: 0, B: 1, Start: 10, End: 100},
+			{A: 0, B: 2, Start: 10, End: 100},
+		},
+		[]ScriptedMessage{
+			{Time: 0, From: 0, To: 1, Size: units.MB(1.5)},
+			{Time: 1, From: 0, To: 2, Size: units.MB(1.5)},
+		})
+	c.Protocol = ProtoDirectDelivery
+	r := mustRun(t, c)
+	if r.Delivered != 2 {
+		t.Fatalf("delivered %d of 2", r.Delivered)
+	}
+	// Delays: (12-0)=12 and (14-1)=13 -> mean 12.5.
+	if math.Abs(r.AvgDelay-12.5) > 1e-9 {
+		t.Fatalf("mean delay = %v, want 12.5", r.AvgDelay)
+	}
+}
+
+func TestPlanTTLExpiryBeforeContact(t *testing.T) {
+	c := planConfig(t, 2,
+		[]contactplan.Contact{{A: 0, B: 1, Start: 3000, End: 3100}},
+		[]ScriptedMessage{{Time: 0, From: 0, To: 1, Size: units.MB(1)}})
+	c.TTL = units.Minutes(10) // dies at 600, long before the contact
+	r := mustRun(t, c)
+	if r.Delivered != 0 {
+		t.Fatal("expired message delivered")
+	}
+	if r.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", r.Expired)
+	}
+}
+
+func TestPlanValidationAgainstNodeCount(t *testing.T) {
+	plan, err := contactplan.New([]contactplan.Contact{{A: 0, B: 9, Start: 1, End: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultConfig()
+	c.Plan = plan
+	c.Vehicles = 4
+	c.Relays = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("plan referencing node 9 accepted with 4 nodes")
+	}
+}
+
+func TestScriptValidation(t *testing.T) {
+	mk := func(s ScriptedMessage) Config {
+		c := quickConfig(1)
+		c.Script = []ScriptedMessage{s}
+		return c
+	}
+	bad := map[string]ScriptedMessage{
+		"negative time": {Time: -1, From: 0, To: 1, Size: units.MB(1)},
+		"beyond run":    {Time: units.Hours(100), From: 0, To: 1, Size: units.MB(1)},
+		"self":          {Time: 0, From: 2, To: 2, Size: units.MB(1)},
+		"bad node":      {Time: 0, From: 0, To: 99, Size: units.MB(1)},
+		"zero size":     {Time: 0, From: 0, To: 1, Size: 0},
+	}
+	for name, s := range bad {
+		if err := mk(s).Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	build := func() Config {
+		return planConfig(t, 4,
+			[]contactplan.Contact{
+				{A: 0, B: 1, Start: 10, End: 60},
+				{A: 1, B: 2, Start: 30, End: 90},
+				{A: 2, B: 3, Start: 70, End: 120},
+			},
+			[]ScriptedMessage{
+				{Time: 0, From: 0, To: 3, Size: units.MB(2)},
+				{Time: 5, From: 3, To: 0, Size: units.MB(1)},
+			})
+	}
+	a, b := mustRun(t, build()), mustRun(t, build())
+	if a != b {
+		t.Fatal("plan-mode runs not deterministic")
+	}
+}

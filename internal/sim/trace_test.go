@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"vdtn/internal/trace"
+)
+
+// TestTraceConsistency runs a traced scenario and cross-checks the event
+// stream against the run's ledger and medium counters — the trace is only
+// useful if it is exact.
+func TestTraceConsistency(t *testing.T) {
+	var lg trace.Log
+	c := quickConfig(33)
+	c.Trace = lg.Append
+	w, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+
+	if lg.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+
+	// Event stream must be time-ordered.
+	evs := lg.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatalf("trace out of order at %d: %v after %v", i, evs[i], evs[i-1])
+		}
+	}
+
+	// Counts must match the authoritative counters.
+	checks := []struct {
+		kind trace.Kind
+		want int
+		name string
+	}{
+		{trace.Created, r.Created, "created"},
+		{trace.ContactUp, int(r.Contacts), "contacts"},
+		{trace.TransferStart, int(r.TransfersStarted), "transfer starts"},
+		{trace.TransferComplete, int(r.TransfersCompleted), "transfer completions"},
+		{trace.TransferAbort, int(r.TransfersAborted), "transfer aborts"},
+		{trace.Delivered, r.Delivered + r.DeliveredDuplicate, "deliveries"},
+		{trace.RelayAccepted, r.RelayAccepted, "accepted relays"},
+		{trace.RelayRejected, r.RelayRejected, "rejected relays"},
+		{trace.Dropped, r.Dropped, "drops"},
+		{trace.Expired, r.Expired, "expiries"},
+	}
+	for _, c := range checks {
+		if got := lg.Count(c.kind); got != c.want {
+			t.Errorf("trace %s = %d, ledger says %d", c.name, got, c.want)
+		}
+	}
+
+	// Contact lifecycle: downs never exceed ups.
+	if lg.Count(trace.ContactDown) > lg.Count(trace.ContactUp) {
+		t.Error("more contact downs than ups")
+	}
+
+	// Per-message sanity: every delivered message was created first.
+	for _, ev := range evs {
+		if ev.Kind != trace.Delivered {
+			continue
+		}
+		life := lg.OfMessage(ev.Msg)
+		if len(life) == 0 || life[0].Kind != trace.Created {
+			t.Fatalf("message %v delivered without creation event", ev.Msg)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	// A nil Trace must not change results (the emission path is the same
+	// simulation; this guards against tracing side effects).
+	base := mustRun(t, quickConfig(35))
+	var lg trace.Log
+	c := quickConfig(35)
+	c.Trace = lg.Append
+	traced := mustRun(t, c)
+	if base != traced {
+		t.Fatalf("tracing changed the run:\n%+v\n%+v", base, traced)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"vdtn/internal/units"
+)
+
+func TestWarmupExcludesEarlyMessages(t *testing.T) {
+	full := mustRun(t, quickConfig(41))
+
+	c := quickConfig(41)
+	c.Warmup = units.Minutes(30)
+	warmed := mustRun(t, c)
+
+	if warmed.Created >= full.Created {
+		t.Fatalf("warmup did not shrink created: %d vs %d", warmed.Created, full.Created)
+	}
+	if warmed.Created == 0 {
+		t.Fatal("warmup excluded everything")
+	}
+	// Roughly 3/4 of a 2h run remains after a 30-minute warmup.
+	lo, hi := full.Created/2, full.Created
+	if warmed.Created < lo || warmed.Created > hi {
+		t.Fatalf("warmed created %d outside (%d, %d)", warmed.Created, lo, hi)
+	}
+	if warmed.Delivered > warmed.Created {
+		t.Fatalf("delivered %d > created %d under warmup", warmed.Delivered, warmed.Created)
+	}
+	if warmed.DeliveryProbability < 0 || warmed.DeliveryProbability > 1 {
+		t.Fatalf("delivery probability %v", warmed.DeliveryProbability)
+	}
+}
+
+func TestWarmupValidation(t *testing.T) {
+	c := quickConfig(1)
+	c.Warmup = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+	c = quickConfig(1)
+	c.Warmup = c.Duration
+	if err := c.Validate(); err == nil {
+		t.Fatal("warmup == duration accepted")
+	}
+}
+
+func TestWarmupDeterminism(t *testing.T) {
+	c := quickConfig(43)
+	c.Warmup = units.Minutes(20)
+	a := mustRun(t, c)
+	c2 := quickConfig(43)
+	c2.Warmup = units.Minutes(20)
+	b := mustRun(t, c2)
+	if a != b {
+		t.Fatal("warmup runs not deterministic")
+	}
+}
+
+func TestMeanBufferOccupancyReported(t *testing.T) {
+	r := mustRun(t, quickConfig(45))
+	if r.MeanBufferOccupancy <= 0 || r.MeanBufferOccupancy > 1 {
+		t.Fatalf("MeanBufferOccupancy = %v, want (0, 1]", r.MeanBufferOccupancy)
+	}
+	// Smaller buffers must sit proportionally fuller.
+	c := quickConfig(45)
+	c.VehicleBuffer = units.MB(5)
+	c.RelayBuffer = units.MB(5)
+	tight := mustRun(t, c)
+	if tight.MeanBufferOccupancy <= r.MeanBufferOccupancy {
+		t.Fatalf("tight buffers not fuller: %v vs %v",
+			tight.MeanBufferOccupancy, r.MeanBufferOccupancy)
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket frequency count over a closed value range,
+// used to render delay distributions in reports.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+	under  int // values below lo
+	over   int // values above hi
+}
+
+// NewHistogram returns a histogram with n equal buckets spanning [lo, hi].
+// It panics on a non-positive bucket count or an empty range.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: empty histogram range [%v, %v]", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, n)}
+}
+
+// Add records one observation. Out-of-range values are tallied separately
+// and reported by Outliers, not silently clamped.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.lo:
+		h.under++
+	case v > h.hi:
+		h.over++
+	default:
+		i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+		if i == len(h.counts) { // v == hi lands in the last bucket
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// AddAll records every value in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, v := range xs {
+		h.Add(v)
+	}
+}
+
+// Total returns the number of observations including outliers.
+func (h *Histogram) Total() int { return h.total }
+
+// Outliers returns how many observations fell below and above the range.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Bucket returns the count and bounds of bucket i.
+func (h *Histogram) Bucket(i int) (count int, lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.counts))
+	return h.counts[i], h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Render draws an ASCII bar chart, one row per bucket, scaled so the
+// fullest bucket spans width characters. format renders bucket bounds
+// (e.g. a minutes formatter).
+func (h *Histogram) Render(width int, format func(float64) string) string {
+	if width <= 0 {
+		width = 40
+	}
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	}
+	peak := 0
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	for i := range h.counts {
+		count, lo, hi := h.Bucket(i)
+		bar := 0
+		if peak > 0 {
+			bar = int(math.Round(float64(count) / float64(peak) * float64(width)))
+		}
+		fmt.Fprintf(&sb, "%10s-%-10s %6d %s\n",
+			format(lo), format(hi), count, strings.Repeat("#", bar))
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&sb, "%21s %6d below, %d above range\n", "", h.under, h.over)
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vdtn/internal/xrand"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(0, 100, 4)
+	for _, v := range []float64{5, 30, 55, 80, 99, 100} {
+		h.Add(v)
+	}
+	wantCounts := []int{1, 1, 1, 3} // 100 lands in the last bucket
+	for i, want := range wantCounts {
+		if got, _, _ := h.Bucket(i); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	h := NewHistogram(10, 50, 4)
+	_, lo, hi := h.Bucket(1)
+	if lo != 20 || hi != 30 {
+		t.Fatalf("bucket 1 bounds = [%v, %v], want [20, 30]", lo, hi)
+	}
+	if h.Buckets() != 4 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+}
+
+func TestHistogramOutliers(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.AddAll([]float64{-5, 3, 12, 100})
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers = %d below, %d above", under, over)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d (outliers must count)", h.Total())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 60, 3)
+	h.AddAll([]float64{5, 5, 5, 25, 45, 70})
+	out := h.Render(10, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 buckets + outlier row
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Fatalf("fullest bucket not full width:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "1 above range") {
+		t.Fatalf("outlier row missing:\n%s", out)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	if out := h.Render(20, nil); !strings.Contains(out, "0 ") {
+		t.Fatalf("empty render:\n%s", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero buckets": func() { NewHistogram(0, 10, 0) },
+		"empty range":  func() { NewHistogram(10, 10, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: bucket counts plus outliers always sum to the total, for any
+// input distribution.
+func TestHistogramConservation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		rng := xrand.New(seed)
+		h := NewHistogram(0, 1000, 1+rng.IntN(20))
+		n := int(nRaw)
+		for i := 0; i < n; i++ {
+			h.Add(rng.Float64()*1500 - 250)
+		}
+		sum := 0
+		for i := 0; i < h.Buckets(); i++ {
+			c, _, _ := h.Bucket(i)
+			sum += c
+		}
+		under, over := h.Outliers()
+		return sum+under+over == h.Total() && h.Total() == n
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

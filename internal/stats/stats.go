@@ -1,0 +1,249 @@
+// Package stats collects and summarizes simulation metrics: the per-run
+// ledger of message events, the derived performance metrics the paper
+// reports (message average delay, message delivery probability), and
+// multi-seed aggregation with confidence intervals for the experiment
+// harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vdtn/internal/units"
+)
+
+// Ledger accumulates message events during one simulation run.
+// The zero value is ready to use.
+type Ledger struct {
+	// Created counts generated messages (the paper's "messages sent").
+	Created int
+	// CreateRejected counts messages refused by the source buffer at
+	// creation (they count as Created but can never deliver).
+	CreateRejected int
+	// DeliveredUnique counts first arrivals at the destination — the
+	// numerator of the paper's delivery probability.
+	DeliveredUnique int
+	// DeliveredDuplicate counts repeat arrivals at a destination.
+	DeliveredDuplicate int
+	// RelayAccepted counts completed transfers stored by a relay.
+	RelayAccepted int
+	// RelayRejected counts completed transfers the receiver refused
+	// (duplicate, expired on arrival, or unstorable).
+	RelayRejected int
+	// Dropped counts buffer-overflow evictions.
+	Dropped int
+	// Expired counts replicas removed by TTL expiry.
+	Expired int
+	// Aborted counts transfers cut by contact loss.
+	Aborted int
+
+	delays []float64 // per unique delivery, seconds
+	hops   []int     // per unique delivery
+}
+
+// MsgCreated records a generated message; rejected notes whether the source
+// buffer refused it.
+func (l *Ledger) MsgCreated(rejected bool) {
+	l.Created++
+	if rejected {
+		l.CreateRejected++
+	}
+}
+
+// MsgDelivered records an arrival at the destination. It returns whether
+// this was the first (unique) delivery.
+func (l *Ledger) MsgDelivered(delay float64, hopCount int, first bool) {
+	if !first {
+		l.DeliveredDuplicate++
+		return
+	}
+	l.DeliveredUnique++
+	l.delays = append(l.delays, delay)
+	l.hops = append(l.hops, hopCount)
+}
+
+// MsgRelayed records a completed non-delivery transfer.
+func (l *Ledger) MsgRelayed(accepted bool) {
+	if accepted {
+		l.RelayAccepted++
+	} else {
+		l.RelayRejected++
+	}
+}
+
+// MsgDropped records n buffer-overflow evictions.
+func (l *Ledger) MsgDropped(n int) { l.Dropped += n }
+
+// MsgExpired records n TTL expiries.
+func (l *Ledger) MsgExpired(n int) { l.Expired += n }
+
+// MsgAborted records an aborted transfer.
+func (l *Ledger) MsgAborted() { l.Aborted++ }
+
+// Report freezes the ledger into the run metrics.
+func (l *Ledger) Report() Report {
+	r := Report{
+		Created:            l.Created,
+		CreateRejected:     l.CreateRejected,
+		Delivered:          l.DeliveredUnique,
+		DeliveredDuplicate: l.DeliveredDuplicate,
+		RelayAccepted:      l.RelayAccepted,
+		RelayRejected:      l.RelayRejected,
+		Dropped:            l.Dropped,
+		Expired:            l.Expired,
+		Aborted:            l.Aborted,
+	}
+	if l.Created > 0 {
+		r.DeliveryProbability = float64(l.DeliveredUnique) / float64(l.Created)
+	}
+	if len(l.delays) > 0 {
+		r.AvgDelay = mean(l.delays)
+		r.MedianDelay = percentile(l.delays, 50)
+		r.P95Delay = percentile(l.delays, 95)
+		r.AvgHops = meanInt(l.hops)
+	}
+	transfers := l.RelayAccepted + l.RelayRejected + l.DeliveredUnique + l.DeliveredDuplicate
+	if l.DeliveredUnique > 0 {
+		r.OverheadRatio = float64(transfers-l.DeliveredUnique) / float64(l.DeliveredUnique)
+	}
+	return r
+}
+
+// Report is the frozen outcome of one simulation run.
+type Report struct {
+	Created            int
+	CreateRejected     int
+	Delivered          int
+	DeliveredDuplicate int
+	RelayAccepted      int
+	RelayRejected      int
+	Dropped            int
+	Expired            int
+	Aborted            int
+
+	// DeliveryProbability is unique deliveries / created messages
+	// (the paper's Figures 5, 7, 8).
+	DeliveryProbability float64
+	// AvgDelay is the mean creation-to-delivery time in seconds over
+	// delivered messages (the paper's Figures 4, 6, 9).
+	AvgDelay    float64
+	MedianDelay float64
+	P95Delay    float64
+	AvgHops     float64
+	// OverheadRatio is (transfers - unique deliveries) / unique
+	// deliveries, the ONE simulator's network-cost metric.
+	OverheadRatio float64
+}
+
+// String renders a human-readable block, used by the CLI tools.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"created        %6d (rejected at source: %d)\n"+
+			"delivered      %6d (duplicates: %d)\n"+
+			"delivery prob  %9.3f\n"+
+			"avg delay      %9s\n"+
+			"median delay   %9s\n"+
+			"p95 delay      %9s\n"+
+			"avg hops       %9.2f\n"+
+			"relays         %6d accepted, %d rejected\n"+
+			"dropped        %6d   expired %6d   aborted %6d\n"+
+			"overhead ratio %9.2f",
+		r.Created, r.CreateRejected,
+		r.Delivered, r.DeliveredDuplicate,
+		r.DeliveryProbability,
+		units.FormatDuration(r.AvgDelay),
+		units.FormatDuration(r.MedianDelay),
+		units.FormatDuration(r.P95Delay),
+		r.AvgHops,
+		r.RelayAccepted, r.RelayRejected,
+		r.Dropped, r.Expired, r.Aborted,
+		r.OverheadRatio)
+}
+
+// --- multi-seed aggregation ----------------------------------------------
+
+// Summary aggregates one scalar metric over replicated runs.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation
+	Min  float64
+	Max  float64
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Summarize aggregates xs. It panics on an empty sample: an experiment
+// that produced no runs is a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	s.Mean = mean(xs)
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs with linear
+// interpolation, without modifying xs. It panics on an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	return percentile(xs, p)
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func meanInt(xs []int) float64 {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// percentile returns the p-th percentile (0..100) with linear
+// interpolation, leaving xs unmodified.
+func percentile(xs []float64, p float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if len(tmp) == 1 {
+		return tmp[0]
+	}
+	rank := p / 100 * float64(len(tmp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := rank - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}

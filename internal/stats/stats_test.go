@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vdtn/internal/xrand"
+)
+
+func TestLedgerDeliveryProbability(t *testing.T) {
+	var l Ledger
+	for i := 0; i < 10; i++ {
+		l.MsgCreated(false)
+	}
+	l.MsgDelivered(100, 2, true)
+	l.MsgDelivered(200, 3, true)
+	l.MsgDelivered(300, 1, true)
+	r := l.Report()
+	if r.DeliveryProbability != 0.3 {
+		t.Fatalf("DeliveryProbability = %v, want 0.3", r.DeliveryProbability)
+	}
+	if r.AvgDelay != 200 {
+		t.Fatalf("AvgDelay = %v, want 200", r.AvgDelay)
+	}
+	if r.AvgHops != 2 {
+		t.Fatalf("AvgHops = %v, want 2", r.AvgHops)
+	}
+}
+
+func TestLedgerDuplicateDeliveriesExcluded(t *testing.T) {
+	var l Ledger
+	l.MsgCreated(false)
+	l.MsgDelivered(100, 1, true)
+	l.MsgDelivered(500, 4, false) // duplicate: must not affect delay stats
+	r := l.Report()
+	if r.Delivered != 1 || r.DeliveredDuplicate != 1 {
+		t.Fatalf("delivered=%d dup=%d", r.Delivered, r.DeliveredDuplicate)
+	}
+	if r.AvgDelay != 100 {
+		t.Fatalf("AvgDelay polluted by duplicate: %v", r.AvgDelay)
+	}
+}
+
+func TestLedgerEmptyRun(t *testing.T) {
+	var l Ledger
+	r := l.Report()
+	if r.DeliveryProbability != 0 || r.AvgDelay != 0 || r.OverheadRatio != 0 {
+		t.Fatalf("empty run produced non-zero metrics: %+v", r)
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	var l Ledger
+	l.MsgCreated(false)
+	l.MsgCreated(false)
+	// 2 deliveries, 8 accepted relays => (10-2)/2 = 4.
+	l.MsgDelivered(10, 1, true)
+	l.MsgDelivered(20, 1, true)
+	for i := 0; i < 8; i++ {
+		l.MsgRelayed(true)
+	}
+	if r := l.Report(); r.OverheadRatio != 4 {
+		t.Fatalf("OverheadRatio = %v, want 4", r.OverheadRatio)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var l Ledger
+	l.MsgCreated(true)
+	l.MsgDropped(3)
+	l.MsgExpired(2)
+	l.MsgAborted()
+	l.MsgRelayed(false)
+	r := l.Report()
+	if r.CreateRejected != 1 || r.Dropped != 3 || r.Expired != 2 || r.Aborted != 1 || r.RelayRejected != 1 {
+		t.Fatalf("counters wrong: %+v", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	var l Ledger
+	l.MsgCreated(false)
+	l.MsgDelivered(90, 2, true)
+	s := l.Report().String()
+	for _, want := range []string{"delivery prob", "avg delay", "1m30s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10},
+		{50, 25},
+		{100, 40},
+		{25, 17.5},
+	}
+	for _, c := range cases {
+		if got := percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile([]float64{7}, 95); got != 7 {
+		t.Fatalf("percentile of singleton = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("percentile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-2) > 1e-9 {
+		t.Fatalf("Std = %v, want 2", s.Std)
+	}
+	ci := s.CI95()
+	want := 1.96 * 2 / math.Sqrt(3)
+	if math.Abs(ci-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", ci, want)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.Mean != 5 || s.Std != 0 || s.CI95() != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty Summarize did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+// Property: mean lies within [min, max], std >= 0, and summarizing a
+// constant sample gives zero spread.
+func TestSummarizeProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := xrand.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*1000 - 500
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 || s.Std < 0 {
+			return false
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = 42
+		}
+		cs := Summarize(c)
+		return cs.Std == 0 && cs.Mean == 42
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package trace records the event stream of a simulation run: contact
+// lifecycle, transfers, and the life of every message replica. A trace is
+// the ground truth for debugging protocol behaviour and for offline
+// analysis (contact statistics, per-message delivery paths) — the
+// counterpart of the ONE simulator's report modules.
+//
+// The simulator emits events through a plain callback (sim.Config.Trace),
+// so tracing costs nothing when disabled; this package provides the event
+// vocabulary and two consumers — an in-memory Log and a streaming TSV
+// Writer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vdtn/internal/bundle"
+)
+
+// Kind enumerates traceable events.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// ContactUp: nodes A and B came into radio range.
+	ContactUp Kind = iota
+	// ContactDown: the A-B contact broke.
+	ContactDown
+	// TransferStart: A began transmitting Msg to B.
+	TransferStart
+	// TransferComplete: the transfer of Msg from A to B finished.
+	TransferComplete
+	// TransferAbort: the transfer of Msg from A to B was cut.
+	TransferAbort
+	// Created: node A generated Msg (destination B).
+	Created
+	// Delivered: Msg reached its destination B from carrier A.
+	Delivered
+	// RelayAccepted: B stored the replica of Msg received from A.
+	RelayAccepted
+	// RelayRejected: B refused the replica of Msg received from A.
+	RelayRejected
+	// Dropped: node A evicted Msg on buffer overflow.
+	Dropped
+	// Expired: Msg's TTL ran out at node A.
+	Expired
+)
+
+var kindNames = [...]string{
+	ContactUp:        "contact_up",
+	ContactDown:      "contact_down",
+	TransferStart:    "transfer_start",
+	TransferComplete: "transfer_complete",
+	TransferAbort:    "transfer_abort",
+	Created:          "created",
+	Delivered:        "delivered",
+	RelayAccepted:    "relay_accepted",
+	RelayRejected:    "relay_rejected",
+	Dropped:          "dropped",
+	Expired:          "expired",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one trace record. A is the acting node (sender, carrier,
+// creator); B is the counterparty where one exists (receiver, destination),
+// else -1. Msg is the message id where one applies, else 0.
+type Event struct {
+	Time float64
+	Kind Kind
+	A    int
+	B    int
+	Msg  bundle.ID
+}
+
+// Func is the callback signature the simulator invokes per event.
+type Func func(Event)
+
+// Log is an in-memory trace consumer.
+// The zero value is ready to use.
+type Log struct {
+	events []Event
+}
+
+// Append implements Func; install it as the simulator's trace callback:
+//
+//	var lg trace.Log
+//	cfg.Trace = lg.Append
+func (l *Log) Append(ev Event) { l.events = append(l.events, ev) }
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns a copy of the recorded events, in emission order.
+func (l *Log) Events() []Event {
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count returns how many events of kind k were recorded.
+func (l *Log) Count(k Kind) int {
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// OfMessage returns the events touching message id, in order — the
+// replica's life across the network.
+func (l *Log) OfMessage(id bundle.ID) []Event {
+	var out []Event
+	for _, ev := range l.events {
+		if ev.Msg == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteTSV renders the log as tab-separated rows:
+// time, kind, a, b, msg.
+func (l *Log) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time\tkind\ta\tb\tmsg"); err != nil {
+		return err
+	}
+	for _, ev := range l.events {
+		if _, err := fmt.Fprintf(w, "%.3f\t%s\t%d\t%d\t%s\n",
+			ev.Time, ev.Kind, ev.A, ev.B, ev.Msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseTSV reads back the TSV format produced by WriteTSV / Writer, so
+// traces recorded in one session can be analyzed offline in another
+// (cmd/traceview). The header row is required; unknown kinds fail loudly.
+func ParseTSV(text string) ([]Event, error) {
+	kindByName := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		kindByName[name] = Kind(k)
+	}
+	var events []Event
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || !strings.HasPrefix(strings.TrimSpace(lines[0]), "time\tkind") {
+		return nil, fmt.Errorf("trace: missing TSV header")
+	}
+	for i, raw := range lines[1:] {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 columns, got %d", i+2, len(fields))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q", i+2, fields[0])
+		}
+		kind, ok := kindByName[fields[1]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", i+2, fields[1])
+		}
+		a, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node %q", i+2, fields[2])
+		}
+		b, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node %q", i+2, fields[3])
+		}
+		msgText := strings.TrimPrefix(fields[4], "M")
+		msg, err := strconv.ParseInt(msgText, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad message id %q", i+2, fields[4])
+		}
+		events = append(events, Event{Time: t, Kind: kind, A: a, B: b, Msg: bundle.ID(msg)})
+	}
+	return events, nil
+}
+
+// Writer is a streaming trace consumer emitting one TSV row per event.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter returns a streaming consumer; install its Emit as the trace
+// callback. The header row is written immediately.
+func NewWriter(w io.Writer) *Writer {
+	tw := &Writer{w: w}
+	_, tw.err = fmt.Fprintln(w, "time\tkind\ta\tb\tmsg")
+	return tw
+}
+
+// Emit implements Func.
+func (t *Writer) Emit(ev Event) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, "%.3f\t%s\t%d\t%d\t%s\n",
+		ev.Time, ev.Kind, ev.A, ev.B, ev.Msg)
+}
+
+// Err returns the first write error, if any.
+func (t *Writer) Err() error { return t.err }

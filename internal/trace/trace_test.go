@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		ContactUp:        "contact_up",
+		ContactDown:      "contact_down",
+		TransferStart:    "transfer_start",
+		TransferComplete: "transfer_complete",
+		TransferAbort:    "transfer_abort",
+		Created:          "created",
+		Delivered:        "delivered",
+		RelayAccepted:    "relay_accepted",
+		RelayRejected:    "relay_rejected",
+		Dropped:          "dropped",
+		Expired:          "expired",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestLogAppendAndQuery(t *testing.T) {
+	var l Log
+	l.Append(Event{Time: 1, Kind: Created, A: 0, B: 5, Msg: 1})
+	l.Append(Event{Time: 2, Kind: TransferStart, A: 0, B: 3, Msg: 1})
+	l.Append(Event{Time: 3, Kind: Created, A: 2, B: 4, Msg: 2})
+	l.Append(Event{Time: 4, Kind: Delivered, A: 3, B: 5, Msg: 1})
+
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Count(Created) != 2 {
+		t.Fatalf("Count(Created) = %d", l.Count(Created))
+	}
+	if l.Count(Expired) != 0 {
+		t.Fatalf("Count(Expired) = %d", l.Count(Expired))
+	}
+	m1 := l.OfMessage(1)
+	if len(m1) != 3 {
+		t.Fatalf("OfMessage(1) = %d events", len(m1))
+	}
+	for i := 1; i < len(m1); i++ {
+		if m1[i].Time < m1[i-1].Time {
+			t.Fatal("OfMessage out of order")
+		}
+	}
+}
+
+func TestLogEventsIsCopy(t *testing.T) {
+	var l Log
+	l.Append(Event{Time: 1, Kind: Created, Msg: 1})
+	evs := l.Events()
+	evs[0].Msg = 99
+	if l.Events()[0].Msg != 1 {
+		t.Fatal("Events() aliases internal storage")
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var l Log
+	l.Append(Event{Time: 1.5, Kind: ContactUp, A: 1, B: 2})
+	l.Append(Event{Time: 2.25, Kind: Created, A: 0, B: 5, Msg: 7})
+	var sb strings.Builder
+	if err := l.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("TSV lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "time\tkind\ta\tb\tmsg" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "contact_up") || !strings.Contains(lines[2], "M7") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+}
+
+func TestStreamingWriter(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Emit(Event{Time: 1, Kind: Dropped, A: 4, B: -1, Msg: 3})
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	if !strings.Contains(sb.String(), "dropped\t4\t-1\tM3") {
+		t.Fatalf("stream output:\n%s", sb.String())
+	}
+}
+
+func TestParseTSVRoundTrip(t *testing.T) {
+	var l Log
+	l.Append(Event{Time: 1.5, Kind: ContactUp, A: 1, B: 2})
+	l.Append(Event{Time: 2.25, Kind: Created, A: 0, B: 5, Msg: 7})
+	l.Append(Event{Time: 9, Kind: Delivered, A: 3, B: 5, Msg: 7})
+	var sb strings.Builder
+	if err := l.WriteTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseTSV(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != l.Len() {
+		t.Fatalf("round trip count: %d != %d", len(events), l.Len())
+	}
+	for i, ev := range l.Events() {
+		if events[i] != ev {
+			t.Fatalf("event %d drifted: %+v != %+v", i, events[i], ev)
+		}
+	}
+}
+
+func TestParseTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":    "1.0\tcontact_up\t1\t2\tM0",
+		"bad columns":  "time\tkind\ta\tb\tmsg\n1.0\tcontact_up\t1",
+		"bad time":     "time\tkind\ta\tb\tmsg\nx\tcontact_up\t1\t2\tM0",
+		"unknown kind": "time\tkind\ta\tb\tmsg\n1\twormhole\t1\t2\tM0",
+		"bad node":     "time\tkind\ta\tb\tmsg\n1\tcontact_up\tx\t2\tM0",
+		"bad msg":      "time\tkind\ta\tb\tmsg\n1\tcreated\t1\t2\tMx",
+	}
+	for name, text := range cases {
+		if _, err := ParseTSV(text); err == nil {
+			t.Errorf("%s: ParseTSV accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseTSVSkipsBlankLines(t *testing.T) {
+	events, err := ParseTSV("time\tkind\ta\tb\tmsg\n\n1\tcreated\t0\t5\tM3\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Msg != 3 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestStreamingWriterSticksOnError(t *testing.T) {
+	w := NewWriter(failingWriter{})
+	if w.Err() == nil {
+		t.Fatal("header write error not captured")
+	}
+	w.Emit(Event{}) // must not panic
+}

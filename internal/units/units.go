@@ -1,0 +1,126 @@
+// Package units centralizes the physical units the simulator deals in and
+// their conversions: byte sizes, bit rates, speeds and durations.
+//
+// Internally the simulator works in SI base units — bytes, bits per second,
+// metres, metres per second, seconds — and this package is the single place
+// where scenario-facing units (megabytes, Mbit/s, km/h, minutes) are
+// converted to and from them. Keeping every conversion constant here means a
+// scenario file can say "100 MB buffer, 6 Mbit/s, 30–50 km/h" and no other
+// package hard-codes a factor of 1024 or 3.6.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Bytes is a storage or message size in bytes.
+type Bytes int64
+
+// Byte size constants. The paper (and the ONE simulator) use decimal
+// megabytes for buffers and messages: 100 Mbytes = 100e6 bytes.
+const (
+	Byte     Bytes = 1
+	Kilobyte       = 1000 * Byte
+	Megabyte       = 1000 * Kilobyte
+	Gigabyte       = 1000 * Megabyte
+)
+
+// KB returns n decimal kilobytes.
+func KB(n float64) Bytes { return Bytes(n * float64(Kilobyte)) }
+
+// MB returns n decimal megabytes.
+func MB(n float64) Bytes { return Bytes(n * float64(Megabyte)) }
+
+// String renders the size with an adaptive unit, e.g. "1.25 MB".
+func (b Bytes) String() string {
+	switch {
+	case b >= Gigabyte:
+		return fmt.Sprintf("%.2f GB", float64(b)/float64(Gigabyte))
+	case b >= Megabyte:
+		return fmt.Sprintf("%.2f MB", float64(b)/float64(Megabyte))
+	case b >= Kilobyte:
+		return fmt.Sprintf("%.2f KB", float64(b)/float64(Kilobyte))
+	default:
+		return fmt.Sprintf("%d B", int64(b))
+	}
+}
+
+// BitRate is a link data rate in bits per second.
+type BitRate float64
+
+// Bit rate constants.
+const (
+	BitPerSecond  BitRate = 1
+	KbitPerSecond         = 1000 * BitPerSecond
+	MbitPerSecond         = 1000 * KbitPerSecond
+)
+
+// Mbit returns n megabits per second.
+func Mbit(n float64) BitRate { return BitRate(n) * MbitPerSecond }
+
+// TransferTime reports how long moving size bytes over the rate takes,
+// in seconds. A non-positive rate yields +Inf-free panic instead of a silent
+// stuck transfer, since it is always a configuration error.
+func (r BitRate) TransferTime(size Bytes) float64 {
+	if r <= 0 {
+		panic("units: TransferTime with non-positive rate")
+	}
+	return float64(size) * 8 / float64(r)
+}
+
+// BytesIn reports how many whole bytes the rate moves in d seconds.
+func (r BitRate) BytesIn(d float64) Bytes {
+	if d < 0 {
+		return 0
+	}
+	return Bytes(float64(r) * d / 8)
+}
+
+// String renders the rate with an adaptive unit, e.g. "6.00 Mbit/s".
+func (r BitRate) String() string {
+	switch {
+	case r >= MbitPerSecond:
+		return fmt.Sprintf("%.2f Mbit/s", float64(r)/float64(MbitPerSecond))
+	case r >= KbitPerSecond:
+		return fmt.Sprintf("%.2f kbit/s", float64(r)/float64(KbitPerSecond))
+	default:
+		return fmt.Sprintf("%.0f bit/s", float64(r))
+	}
+}
+
+// Speed conversions.
+
+// KmhToMs converts km/h to m/s.
+func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
+
+// MsToKmh converts m/s to km/h.
+func MsToKmh(ms float64) float64 { return ms * 3.6 }
+
+// Duration conversions. Simulation time is float64 seconds.
+
+// Minutes returns n minutes in simulation seconds.
+func Minutes(n float64) float64 { return n * 60 }
+
+// Hours returns n hours in simulation seconds.
+func Hours(n float64) float64 { return n * 3600 }
+
+// Seconds converts a time.Duration to simulation seconds.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// FormatDuration renders simulation seconds human-readably, e.g. "2h03m",
+// "4m30s", "12.0s". Used by report tables.
+func FormatDuration(sec float64) string {
+	switch {
+	case sec >= 3600:
+		h := int(sec) / 3600
+		m := (int(sec) % 3600) / 60
+		return fmt.Sprintf("%dh%02dm", h, m)
+	case sec >= 60:
+		m := int(sec) / 60
+		s := sec - float64(m)*60
+		return fmt.Sprintf("%dm%02.0fs", m, s)
+	default:
+		return fmt.Sprintf("%.1fs", sec)
+	}
+}

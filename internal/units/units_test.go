@@ -1,0 +1,122 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestByteConstructors(t *testing.T) {
+	if MB(100) != 100_000_000 {
+		t.Fatalf("MB(100) = %d", MB(100))
+	}
+	if KB(500) != 500_000 {
+		t.Fatalf("KB(500) = %d", KB(500))
+	}
+	if MB(2) != KB(2000) {
+		t.Fatal("2 MB != 2000 KB")
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{500, "500 B"},
+		{KB(500), "500.00 KB"},
+		{MB(1.25), "1.25 MB"},
+		{Gigabyte, "1.00 GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTransferTimePaperLink(t *testing.T) {
+	// The paper's link: 6 Mbit/s. A 1.5 MB bundle is 12 Mbit => 2 s.
+	rate := Mbit(6)
+	got := rate.TransferTime(MB(1.5))
+	if math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("1.5MB @ 6Mbit/s = %v s, want 2.0", got)
+	}
+}
+
+func TestTransferTimeRoundTrip(t *testing.T) {
+	rate := Mbit(6)
+	for _, size := range []Bytes{KB(500), MB(1), MB(2)} {
+		d := rate.TransferTime(size)
+		back := rate.BytesIn(d)
+		if diff := int64(size - back); diff < -1 || diff > 1 {
+			t.Errorf("round trip %v -> %vs -> %v", size, d, back)
+		}
+	}
+}
+
+func TestBytesInNegativeDuration(t *testing.T) {
+	if got := Mbit(6).BytesIn(-5); got != 0 {
+		t.Fatalf("BytesIn(-5) = %d, want 0", got)
+	}
+}
+
+func TestTransferTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TransferTime with zero rate did not panic")
+		}
+	}()
+	BitRate(0).TransferTime(MB(1))
+}
+
+func TestBitRateString(t *testing.T) {
+	if got := Mbit(6).String(); got != "6.00 Mbit/s" {
+		t.Fatalf("Mbit(6).String() = %q", got)
+	}
+	if got := (250 * KbitPerSecond).String(); got != "250.00 kbit/s" {
+		t.Fatalf("250kbit.String() = %q", got)
+	}
+	if got := (500 * BitPerSecond).String(); got != "500 bit/s" {
+		t.Fatalf("500bit.String() = %q", got)
+	}
+}
+
+func TestSpeedConversions(t *testing.T) {
+	// Paper vehicle speeds: 30..50 km/h.
+	if got := KmhToMs(36); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("KmhToMs(36) = %v, want 10", got)
+	}
+	if got := MsToKmh(KmhToMs(47.3)); math.Abs(got-47.3) > 1e-9 {
+		t.Fatalf("speed round trip broke: %v", got)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	if Minutes(90) != 5400 {
+		t.Fatalf("Minutes(90) = %v", Minutes(90))
+	}
+	if Hours(12) != 43200 {
+		t.Fatalf("Hours(12) = %v", Hours(12))
+	}
+	if Seconds(90*time.Second) != 90 {
+		t.Fatalf("Seconds(90s) = %v", Seconds(90*time.Second))
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{12.04, "12.0s"},
+		{270, "4m30s"},
+		{Hours(2) + Minutes(3), "2h03m"},
+		{59.96, "60.0s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.in); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

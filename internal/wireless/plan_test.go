@@ -1,0 +1,105 @@
+package wireless
+
+import (
+	"testing"
+
+	"vdtn/internal/event"
+	"vdtn/internal/geo"
+	"vdtn/internal/units"
+)
+
+func TestStartPlanFiresWindows(t *testing.T) {
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	rec := &recorder{}
+	m.SetHandler(rec)
+	// Positions are far apart: plan mode must ignore them entirely.
+	m.Add(fixed(0, geo.Point{X: 0, Y: 0}))
+	m.Add(fixed(1, geo.Point{X: 9999, Y: 9999}))
+	m.StartPlan([]ContactWindow{{A: 0, B: 1, Start: 10, End: 30}})
+
+	s.RunUntil(5)
+	if m.Connected(0, 1) {
+		t.Fatal("connected before the window")
+	}
+	s.RunUntil(10)
+	if !m.Connected(0, 1) {
+		t.Fatal("not connected inside the window")
+	}
+	s.RunUntil(31)
+	if m.Connected(0, 1) {
+		t.Fatal("still connected after the window")
+	}
+	if len(rec.ups) != 1 || len(rec.downs) != 1 {
+		t.Fatalf("ups=%v downs=%v", rec.ups, rec.downs)
+	}
+	if m.ContactsSeen != 1 {
+		t.Fatalf("ContactsSeen = %d", m.ContactsSeen)
+	}
+}
+
+func TestStartPlanAbortsAtWindowEnd(t *testing.T) {
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	m.SetHandler(&recorder{})
+	m.Add(fixed(0, geo.Point{}))
+	m.Add(fixed(1, geo.Point{}))
+	m.StartPlan([]ContactWindow{{A: 0, B: 1, Start: 0, End: 5}})
+	s.RunUntil(0.5)
+
+	aborted := false
+	// 7.5 MB needs 10 s at 6 Mbit/s; the window closes at 5.
+	if !m.StartTransfer(s.Now(), 0, 1, units.MB(7.5), nil, func(float64) { aborted = true }) {
+		t.Fatal("transfer refused")
+	}
+	s.RunUntil(20)
+	if !aborted {
+		t.Fatal("transfer survived the window end")
+	}
+	if m.Busy(0) || m.Busy(1) {
+		t.Fatal("busy after plan abort")
+	}
+}
+
+func TestStartPlanUnknownNodePanics(t *testing.T) {
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	m.Add(fixed(0, geo.Point{}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown node accepted")
+		}
+	}()
+	m.StartPlan([]ContactWindow{{A: 0, B: 7, Start: 0, End: 1}})
+}
+
+func TestStartAndStartPlanMutuallyExclusive(t *testing.T) {
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	m.Add(fixed(0, geo.Point{}))
+	m.Add(fixed(1, geo.Point{}))
+	m.StartPlan([]ContactWindow{{A: 0, B: 1, Start: 0, End: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start after StartPlan accepted")
+		}
+	}()
+	m.Start(0)
+}
+
+func TestStartPlanMultipleWindowsSamePair(t *testing.T) {
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	rec := &recorder{}
+	m.SetHandler(rec)
+	m.Add(fixed(0, geo.Point{}))
+	m.Add(fixed(1, geo.Point{}))
+	m.StartPlan([]ContactWindow{
+		{A: 0, B: 1, Start: 10, End: 20},
+		{A: 0, B: 1, Start: 40, End: 50},
+	})
+	s.RunUntil(100)
+	if len(rec.ups) != 2 || len(rec.downs) != 2 {
+		t.Fatalf("repeat windows: ups=%d downs=%d", len(rec.ups), len(rec.downs))
+	}
+}

@@ -1,0 +1,377 @@
+// Package wireless models the radio layer of the VDTN: disk-range contact
+// detection between moving nodes and finite-rate message transfers over
+// established contacts.
+//
+// The model is the one the paper's evaluation actually ran on (the ONE
+// simulator's broadcast interface): two nodes are in contact iff their
+// distance is at most the transmission range (30 m for the paper's IEEE
+// 802.11b setup); a contact carries a fixed net data rate (6 Mbit/s); a
+// node takes part in at most one transfer at a time; and a transfer whose
+// contact breaks mid-flight is aborted and the partial data discarded.
+//
+// Contacts are detected by a periodic proximity scan (default every
+// simulated second — the ONE's granularity class) over a uniform spatial
+// hash grid with cell size equal to the radio range, so each scan is
+// O(nodes + contacts) rather than O(nodes²).
+package wireless
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vdtn/internal/event"
+	"vdtn/internal/geo"
+	"vdtn/internal/units"
+)
+
+// Entity is a radio-equipped node tracked by the medium.
+type Entity interface {
+	// ID returns the node's unique non-negative id.
+	ID() int
+	// Position returns the node position at time now. The medium queries
+	// positions with non-decreasing timestamps.
+	Position(now float64) geo.Point
+}
+
+// ContactHandler receives contact lifecycle notifications. ContactUp and
+// ContactDown are invoked once per (unordered) pair transition, with
+// a.ID() < b.ID().
+type ContactHandler interface {
+	ContactUp(now float64, a, b Entity)
+	ContactDown(now float64, a, b Entity)
+}
+
+// Config parameterizes the medium.
+type Config struct {
+	// Range is the radio transmission range in metres (> 0).
+	Range float64
+	// Rate is the contact data rate (> 0).
+	Rate units.BitRate
+	// ScanInterval is the proximity-scan period in seconds (> 0).
+	ScanInterval float64
+}
+
+// Validate reports the first invalid field, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Range <= 0:
+		return fmt.Errorf("wireless: non-positive range %v", c.Range)
+	case c.Rate <= 0:
+		return fmt.Errorf("wireless: non-positive rate %v", float64(c.Rate))
+	case c.ScanInterval <= 0:
+		return fmt.Errorf("wireless: non-positive scan interval %v", c.ScanInterval)
+	}
+	return nil
+}
+
+// Transfer is an in-flight message transfer between two connected nodes.
+type Transfer struct {
+	From, To int
+	Size     units.Bytes
+	Started  float64
+
+	handle  *event.Handle
+	onDone  func(now float64)
+	onAbort func(now float64)
+}
+
+type pairKey [2]int
+
+func key(a, b int) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// Medium owns contact state and in-flight transfers.
+// The zero value is not usable; use NewMedium.
+type Medium struct {
+	sched    *event.Scheduler
+	cfg      Config
+	entities []Entity
+	byID     map[int]Entity
+	handler  ContactHandler
+
+	connected map[pairKey]bool
+	busy      map[int]*Transfer
+
+	stopScan func()
+	planned  bool
+
+	// Counters for tests and reports.
+	ContactsSeen       uint64 // ContactUp events
+	TransfersStarted   uint64
+	TransfersCompleted uint64
+	TransfersAborted   uint64
+}
+
+// NewMedium returns a medium scheduling on sched. Panics on invalid config.
+func NewMedium(sched *event.Scheduler, cfg Config) *Medium {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &Medium{
+		sched:     sched,
+		cfg:       cfg,
+		byID:      make(map[int]Entity),
+		connected: make(map[pairKey]bool),
+		busy:      make(map[int]*Transfer),
+	}
+}
+
+// Add registers an entity. Panics on duplicate or negative ids, which are
+// always scenario-assembly bugs.
+func (m *Medium) Add(e Entity) {
+	id := e.ID()
+	if id < 0 {
+		panic(fmt.Sprintf("wireless: negative entity id %d", id))
+	}
+	if _, dup := m.byID[id]; dup {
+		panic(fmt.Sprintf("wireless: duplicate entity id %d", id))
+	}
+	m.entities = append(m.entities, e)
+	m.byID[id] = e
+}
+
+// SetHandler installs the contact lifecycle handler. Must be called before
+// Start.
+func (m *Medium) SetHandler(h ContactHandler) { m.handler = h }
+
+// Start begins periodic proximity scanning at time `from`.
+func (m *Medium) Start(from float64) {
+	if m.stopScan != nil || m.planned {
+		panic("wireless: Start called twice")
+	}
+	m.stopScan = m.sched.Every(from, m.cfg.ScanInterval, m.scan)
+}
+
+// ContactWindow is one scheduled contact for plan-driven operation.
+type ContactWindow struct {
+	A, B       int
+	Start, End float64
+}
+
+// StartPlan drives contacts from an explicit schedule instead of proximity
+// scanning: each window raises the contact at Start and breaks it (aborting
+// any transfer riding it) at End. Entity positions are ignored in this
+// mode. Windows must reference registered entities and be pre-validated
+// (internal/contactplan does both); StartPlan panics on unknown ids.
+// Start and StartPlan are mutually exclusive.
+func (m *Medium) StartPlan(windows []ContactWindow) {
+	if m.stopScan != nil || m.planned {
+		panic("wireless: StartPlan after Start")
+	}
+	m.planned = true
+	for _, win := range windows {
+		if _, ok := m.byID[win.A]; !ok {
+			panic(fmt.Sprintf("wireless: plan references unknown node %d", win.A))
+		}
+		if _, ok := m.byID[win.B]; !ok {
+			panic(fmt.Sprintf("wireless: plan references unknown node %d", win.B))
+		}
+		k := key(win.A, win.B)
+		m.sched.At(win.Start, func(now float64) {
+			if m.connected[k] {
+				return // overlapping windows merged upstream; be safe
+			}
+			m.connected[k] = true
+			m.ContactsSeen++
+			if m.handler != nil {
+				m.handler.ContactUp(now, m.byID[k[0]], m.byID[k[1]])
+			}
+		})
+		m.sched.At(win.End, func(now float64) {
+			if !m.connected[k] {
+				return
+			}
+			delete(m.connected, k)
+			m.abortPair(now, k)
+			if m.handler != nil {
+				m.handler.ContactDown(now, m.byID[k[0]], m.byID[k[1]])
+			}
+		})
+	}
+}
+
+// Stop halts scanning (in-flight transfers keep running to completion).
+func (m *Medium) Stop() {
+	if m.stopScan != nil {
+		m.stopScan()
+		m.stopScan = nil
+	}
+}
+
+// Connected reports whether nodes a and b are currently in contact.
+func (m *Medium) Connected(a, b int) bool { return m.connected[key(a, b)] }
+
+// Busy reports whether node id is currently part of a transfer.
+func (m *Medium) Busy(id int) bool { return m.busy[id] != nil }
+
+// Rate returns the configured contact data rate.
+func (m *Medium) Rate() units.BitRate { return m.cfg.Rate }
+
+// PeersOf returns the ids currently in contact with node id, ascending.
+func (m *Medium) PeersOf(id int) []int {
+	var out []int
+	for k, up := range m.connected {
+		if !up {
+			continue
+		}
+		switch id {
+		case k[0]:
+			out = append(out, k[1])
+		case k[1]:
+			out = append(out, k[0])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// scan recomputes the proximity graph and fires contact transitions.
+func (m *Medium) scan(now float64) {
+	curr := m.proximityPairs(now)
+
+	// Downs first: a contact that broke frees its endpoints' radios before
+	// new-contact handlers try to start transfers on this same tick.
+	var downs []pairKey
+	for k, up := range m.connected {
+		if up && !curr[k] {
+			downs = append(downs, k)
+		}
+	}
+	sort.Slice(downs, func(i, j int) bool {
+		if downs[i][0] != downs[j][0] {
+			return downs[i][0] < downs[j][0]
+		}
+		return downs[i][1] < downs[j][1]
+	})
+	for _, k := range downs {
+		delete(m.connected, k)
+		m.abortPair(now, k)
+		if m.handler != nil {
+			m.handler.ContactDown(now, m.byID[k[0]], m.byID[k[1]])
+		}
+	}
+
+	var ups []pairKey
+	for k := range curr {
+		if !m.connected[k] {
+			ups = append(ups, k)
+		}
+	}
+	sort.Slice(ups, func(i, j int) bool {
+		if ups[i][0] != ups[j][0] {
+			return ups[i][0] < ups[j][0]
+		}
+		return ups[i][1] < ups[j][1]
+	})
+	for _, k := range ups {
+		m.connected[k] = true
+		m.ContactsSeen++
+		if m.handler != nil {
+			m.handler.ContactUp(now, m.byID[k[0]], m.byID[k[1]])
+		}
+	}
+}
+
+// proximityPairs returns the set of entity pairs within radio range at now,
+// using a uniform hash grid with cell size = range so only the 3x3 cell
+// neighbourhood needs checking.
+func (m *Medium) proximityPairs(now float64) map[pairKey]bool {
+	n := len(m.entities)
+	pos := make([]geo.Point, n)
+	for i, e := range m.entities {
+		pos[i] = e.Position(now)
+	}
+	cell := m.cfg.Range
+	type cellKey [2]int64
+	grid := make(map[cellKey][]int, n)
+	ck := func(p geo.Point) cellKey {
+		return cellKey{int64(math.Floor(p.X / cell)), int64(math.Floor(p.Y / cell))}
+	}
+	for i, p := range pos {
+		k := ck(p)
+		grid[k] = append(grid[k], i)
+	}
+	r2 := m.cfg.Range * m.cfg.Range
+	pairs := make(map[pairKey]bool)
+	for i, p := range pos {
+		base := ck(p)
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, j := range grid[cellKey{base[0] + dx, base[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					if pos[i].Dist2(pos[j]) <= r2 {
+						pairs[key(m.entities[i].ID(), m.entities[j].ID())] = true
+					}
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// StartTransfer begins moving size bytes from node `from` to node `to`.
+// It returns false without side effects if the pair is not in contact or
+// either radio is already busy. Otherwise the transfer completes after
+// size·8/rate seconds (onDone), unless the contact breaks first (onAbort).
+func (m *Medium) StartTransfer(now float64, from, to int, size units.Bytes, onDone, onAbort func(now float64)) bool {
+	if from == to {
+		panic("wireless: transfer to self")
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("wireless: transfer of %d bytes", size))
+	}
+	if !m.Connected(from, to) || m.Busy(from) || m.Busy(to) {
+		return false
+	}
+	t := &Transfer{
+		From:    from,
+		To:      to,
+		Size:    size,
+		Started: now,
+		onDone:  onDone,
+		onAbort: onAbort,
+	}
+	dur := m.cfg.Rate.TransferTime(size)
+	t.handle = m.sched.After(dur, func(fireNow float64) {
+		m.finish(t)
+		m.TransfersCompleted++
+		if t.onDone != nil {
+			t.onDone(fireNow)
+		}
+	})
+	m.busy[from] = t
+	m.busy[to] = t
+	m.TransfersStarted++
+	return true
+}
+
+// finish clears busy state for a transfer's endpoints.
+func (m *Medium) finish(t *Transfer) {
+	if m.busy[t.From] == t {
+		delete(m.busy, t.From)
+	}
+	if m.busy[t.To] == t {
+		delete(m.busy, t.To)
+	}
+}
+
+// abortPair aborts the transfer (if any) riding the broken contact (a, b).
+func (m *Medium) abortPair(now float64, k pairKey) {
+	t := m.busy[k[0]]
+	if t == nil || m.busy[k[1]] != t {
+		return // no shared transfer between exactly this pair
+	}
+	t.handle.Cancel()
+	m.finish(t)
+	m.TransfersAborted++
+	if t.onAbort != nil {
+		t.onAbort(now)
+	}
+}

@@ -1,0 +1,230 @@
+// Package vdtn is a discrete-event simulator for Vehicular Delay-Tolerant
+// Networks, reproducing Soares et al., "Improvement of Messages Delivery
+// Time on Vehicular Delay-Tolerant Networks" (ICPP 2009).
+//
+// It provides:
+//
+//   - the paper's contribution — pluggable buffer scheduling and dropping
+//     policies (FIFO, Random, Lifetime DESC/ASC) enforced on Epidemic and
+//     binary Spray-and-Wait routing;
+//   - full reimplementations of the MaxProp and PRoPHET (GRTRMax) routing
+//     protocols the paper compares against, plus DirectDelivery and
+//     FirstContact baselines;
+//   - the complete simulation substrate: road-map graph with shortest
+//     paths, map-constrained vehicle mobility, disk-range radio contacts
+//     with finite-rate transfers, capacity-bounded buffers with TTL
+//     expiry, and a deterministic event engine;
+//   - an experiment harness that regenerates every figure of the paper's
+//     evaluation and several ablations.
+//
+// # Quick start
+//
+//	cfg := vdtn.PaperConfig(120, vdtn.ProtoEpidemic, vdtn.PolicyLifetime, 1)
+//	result, err := vdtn.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(result.Report)
+//
+// Runs are deterministic: identical (Config, Seed) pairs produce identical
+// Results. See the examples directory for scenario customization and for
+// plugging in a custom routing protocol.
+package vdtn
+
+import (
+	"io"
+
+	"vdtn/internal/buffer"
+	"vdtn/internal/bundle"
+	"vdtn/internal/contactplan"
+	"vdtn/internal/core"
+	"vdtn/internal/experiments"
+	"vdtn/internal/reports"
+	"vdtn/internal/routing"
+	"vdtn/internal/sim"
+	"vdtn/internal/stats"
+	"vdtn/internal/trace"
+	"vdtn/internal/xrand"
+)
+
+// Core simulation types.
+type (
+	// Config fully describes a scenario; see DefaultConfig and PaperConfig.
+	Config = sim.Config
+	// Result is the outcome of one run.
+	Result = sim.Result
+	// Report is the metric block inside a Result.
+	Report = stats.Report
+	// World is an assembled scenario; use NewWorld for stepping access,
+	// or Run for the common build-and-run path.
+	World = sim.World
+	// ProtocolKind selects the routing protocol.
+	ProtocolKind = sim.ProtocolKind
+	// PolicyKind selects the combined scheduling-dropping policy.
+	PolicyKind = sim.PolicyKind
+)
+
+// Routing extension points: implement Router (and receive Peer views) to
+// plug a custom protocol into Config.NewRouter. The remaining aliases are
+// the types a Router implementation touches: its node buffer, the message
+// replicas in it, and the deterministic random stream the simulator hands
+// each node.
+type (
+	// Router is the routing-protocol interface.
+	Router = routing.Router
+	// Peer is a router's view of a connected remote node.
+	Peer = routing.Peer
+	// Send is one transmission decision.
+	Send = routing.Send
+	// Buffer is a node's capacity-bounded message store.
+	Buffer = buffer.Store
+	// Message is one replica of a DTN bundle.
+	Message = bundle.Message
+	// MessageID identifies a message across all replicas.
+	MessageID = bundle.ID
+	// Rand is the per-node deterministic random stream.
+	Rand = xrand.Rand
+	// SchedulingPolicy orders transmissions at a contact.
+	SchedulingPolicy = core.SchedulingPolicy
+	// DropPolicy picks buffer-overflow victims.
+	DropPolicy = core.DropPolicy
+)
+
+// Drop-policy constructors for custom routers.
+func NewFIFODrop() DropPolicy        { return core.FIFODrop{} }
+func NewLifetimeASCDrop() DropPolicy { return core.LifetimeASCDrop{} }
+
+// Protocols.
+const (
+	ProtoEpidemic            = sim.ProtoEpidemic
+	ProtoSprayAndWait        = sim.ProtoSprayAndWait
+	ProtoSprayAndWaitVanilla = sim.ProtoSprayAndWaitVanilla
+	ProtoMaxProp             = sim.ProtoMaxProp
+	ProtoPRoPHET             = sim.ProtoPRoPHET
+	ProtoDirectDelivery      = sim.ProtoDirectDelivery
+	ProtoFirstContact        = sim.ProtoFirstContact
+)
+
+// Policies: the paper's Table I, then the extended literature policies.
+const (
+	PolicyFIFOFIFO      = sim.PolicyFIFOFIFO
+	PolicyRandomFIFO    = sim.PolicyRandomFIFO
+	PolicyLifetime      = sim.PolicyLifetime
+	PolicySize          = sim.PolicySize
+	PolicyHopMOFO       = sim.PolicyHopMOFO
+	PolicyFIFOOldestAge = sim.PolicyFIFOOldestAge
+)
+
+// DefaultConfig returns the paper's scenario (§III): 40 vehicles and 5
+// relays on a Helsinki-like map, 802.11b radios, 12 simulated hours.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// PaperConfig returns the paper scenario at one evaluation point.
+func PaperConfig(ttlMinutes float64, proto ProtocolKind, pol PolicyKind, seed uint64) Config {
+	return sim.PaperConfig(ttlMinutes, proto, pol, seed)
+}
+
+// NewWorld assembles a scenario for inspection or stepping.
+func NewWorld(cfg Config) (*World, error) { return sim.New(cfg) }
+
+// Run assembles and runs a scenario to completion.
+func Run(cfg Config) (Result, error) {
+	w, err := sim.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return w.Run(), nil
+}
+
+// Contact-plan mode: drive connectivity from an explicit schedule (a
+// recorded vehicular connectivity trace or a scripted topology) instead of
+// mobility and radio range. Assign a plan to Config.Plan and optionally
+// script exact traffic via Config.Script.
+type (
+	// ContactPlan is a validated, time-ordered contact schedule.
+	ContactPlan = contactplan.Plan
+	// Contact is one scheduled window between two nodes.
+	Contact = contactplan.Contact
+	// ScriptedMessage is one deterministic traffic entry.
+	ScriptedMessage = sim.ScriptedMessage
+)
+
+// NewContactPlan validates and normalizes a contact list.
+func NewContactPlan(contacts []Contact) (*ContactPlan, error) {
+	return contactplan.New(contacts)
+}
+
+// ParseContactPlan reads the "start end nodeA nodeB" text format.
+func ParseContactPlan(text string) (*ContactPlan, error) {
+	return contactplan.Parse(text)
+}
+
+// Tracing and offline analysis. Install a consumer via Config.Trace:
+//
+//	var lg vdtn.TraceLog
+//	cfg.Trace = lg.Append
+//	vdtn.Run(cfg)
+//	analysis := vdtn.AnalyzeTrace(lg.Events(), cfg.Duration)
+type (
+	// TraceEvent is one simulation event record.
+	TraceEvent = trace.Event
+	// TraceKind enumerates event kinds (TraceContactUp, ...).
+	TraceKind = trace.Kind
+	// TraceLog is an in-memory trace consumer.
+	TraceLog = trace.Log
+	// TraceWriter streams events as TSV.
+	TraceWriter = trace.Writer
+	// TraceAnalysis is the offline report derived from a trace.
+	TraceAnalysis = reports.Analysis
+)
+
+// Trace event kinds.
+const (
+	TraceContactUp        = trace.ContactUp
+	TraceContactDown      = trace.ContactDown
+	TraceTransferStart    = trace.TransferStart
+	TraceTransferComplete = trace.TransferComplete
+	TraceTransferAbort    = trace.TransferAbort
+	TraceCreated          = trace.Created
+	TraceDelivered        = trace.Delivered
+	TraceRelayAccepted    = trace.RelayAccepted
+	TraceRelayRejected    = trace.RelayRejected
+	TraceDropped          = trace.Dropped
+	TraceExpired          = trace.Expired
+)
+
+// NewTraceWriter returns a streaming TSV trace consumer writing to w;
+// install its Emit method as Config.Trace.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// AnalyzeTrace derives contact statistics, transfer outcomes, message
+// fates and delivery paths from a recorded event stream.
+func AnalyzeTrace(events []TraceEvent, horizon float64) *TraceAnalysis {
+	return reports.Analyze(events, horizon)
+}
+
+// TopContactPairs returns the k node pairs with the most contacts.
+func TopContactPairs(events []TraceEvent, k int) [][2]int {
+	return reports.TopPairs(events, k)
+}
+
+// Experiment harness re-exports: regenerate the paper's figures.
+type (
+	// Experiment is one reproducible figure or ablation.
+	Experiment = experiments.Experiment
+	// ExperimentOptions controls replication, parallelism and scale.
+	ExperimentOptions = experiments.Options
+	// ExperimentTable is a completed experiment with rendering helpers.
+	ExperimentTable = experiments.Table
+)
+
+// Experiments returns the catalog: the paper's Figures 4-9 and the
+// ablations described in DESIGN.md.
+func Experiments() []Experiment { return experiments.Catalog() }
+
+// ExperimentByID finds one experiment ("fig4" ... "fig9",
+// "ablation-rate", ...).
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// RunExperiment executes an experiment and aggregates its table.
+func RunExperiment(e Experiment, opt ExperimentOptions) ExperimentTable {
+	return experiments.Run(e, opt)
+}
