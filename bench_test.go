@@ -108,6 +108,29 @@ func BenchmarkAblationCopies(b *testing.B) { runExperiment(b, "ablation-copies")
 // BenchmarkAblationRelays regenerates the relay-count ablation.
 func BenchmarkAblationRelays(b *testing.B) { runExperiment(b, "ablation-relays") }
 
+// BenchmarkExperimentUncached is the baseline for the contact-cache
+// comparison: fig5's 15-cell sweep with every cell re-simulating mobility.
+func BenchmarkExperimentUncached(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkExperimentCached runs the same sweep through the contact-trace
+// cache: one mobility recording per seed, replayed by all 15 cells.
+// Results are bit-identical to the uncached run (see
+// TestContactCacheSpeedupArtifact); only the wall clock moves.
+func BenchmarkExperimentCached(b *testing.B) {
+	exp, ok := vdtn.ExperimentByID("fig5")
+	if !ok {
+		b.Fatal("fig5 not in catalog")
+	}
+	opt := vdtn.ExperimentOptions{Seeds: []uint64{1}, Scale: benchScale}
+	for i := 0; i < b.N; i++ {
+		// A fresh cache per iteration: the measurement includes the
+		// recording pass, as a cold harness run would pay it.
+		opt.ContactCache = &vdtn.ContactCache{}
+		vdtn.RunExperiment(exp, opt)
+	}
+	b.ReportMetric(float64(len(exp.Scenarios)*len(exp.Xs)), "simruns/op")
+}
+
 // BenchmarkPaperRun measures one full-fidelity 12-hour paper scenario run
 // (Epidemic/Lifetime at TTL 120), the unit of cost behind every figure.
 func BenchmarkPaperRun(b *testing.B) {

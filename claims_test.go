@@ -13,10 +13,17 @@ import (
 // EXPERIMENTS.md. They run multi-seed scaled scenarios (~a minute in
 // total), so they are skipped under -short.
 
+// claimCache shares one contact cache across all claim tests: every
+// figure sweeps the same scenario at the same seeds, so the whole suite
+// needs exactly two mobility simulations (one per seed). Replayed cells
+// are bit-identical to live ones, so the claims are tested at full
+// default-mode fidelity.
+var claimCache = &vdtn.ContactCache{}
+
 // claimOptions: two seeds at a quarter of the paper's horizon keeps the
 // orderings stable while staying test-suite friendly.
 func claimOptions() vdtn.ExperimentOptions {
-	return vdtn.ExperimentOptions{Seeds: []uint64{1, 2}, Scale: 0.25}
+	return vdtn.ExperimentOptions{Seeds: []uint64{1, 2}, Scale: 0.25, ContactCache: claimCache}
 }
 
 // runCatalog runs a catalog experiment and returns mean metric per

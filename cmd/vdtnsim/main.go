@@ -10,6 +10,9 @@
 //	vdtnsim -protocol spraywait -policy lifetime -ttl 120
 //	vdtnsim -protocol maxprop -ttl 180 -seed 7
 //	vdtnsim -vehicles 80 -relays 10 -rate 2 -duration 6
+//	vdtnsim -record-contacts run.contacts         # capture the contact trace
+//	vdtnsim -replay-contacts run.contacts -ttl 90 # re-run it, bit-identically
+//	vdtnsim -contacts-info run.contacts           # inspect a recorded trace
 package main
 
 import (
@@ -78,6 +81,9 @@ func main() {
 		copies    = flag.Int("copies", 12, "Spray and Wait copy budget N")
 		warmupMin = flag.Float64("warmup", 0, "exclude messages created before this many minutes")
 		contacts  = flag.String("contacts", "", "contact-plan file (\"start end a b\" lines); replaces mobility")
+		recordTo  = flag.String("record-contacts", "", "run live and write the contact trace to this file for later -replay-contacts")
+		replayOf  = flag.String("replay-contacts", "", "replay a recorded contact trace instead of simulating mobility (scenario flags must match the recording run)")
+		inspect   = flag.String("contacts-info", "", "print a summary of a recorded contact trace and exit")
 		confFile  = flag.String("config", "", "load the scenario from a JSON file (other flags still override)")
 		dumpConf  = flag.Bool("dump-config", false, "print the effective scenario as JSON and exit")
 		traceFile = flag.String("trace", "", "write the full event trace as TSV to this file")
@@ -161,6 +167,59 @@ func main() {
 		}
 		fmt.Println(string(data))
 		return
+	}
+
+	if *inspect != "" {
+		data, err := os.ReadFile(*inspect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		rec, err := vdtn.ParseContactRecording(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := vdtn.RecordingPlan(rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: contact recording, scan every %gs over %s\n",
+			*inspect, rec.ScanInterval, units.FormatDuration(rec.Duration))
+		fmt.Printf("transitions  %6d\n%s\n", len(rec.Transitions), plan.Summarize())
+		return
+	}
+
+	if *recordTo != "" && *replayOf != "" {
+		fmt.Fprintln(os.Stderr, "vdtnsim: -record-contacts and -replay-contacts are mutually exclusive")
+		os.Exit(2)
+	}
+	var recording *vdtn.ContactRecording
+	switch {
+	case *recordTo != "":
+		recording = &vdtn.ContactRecording{}
+		cfg.ContactSource = vdtn.ContactRecord
+		cfg.Recording = recording
+	case *replayOf != "":
+		data, err := os.ReadFile(*replayOf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		recording, err = vdtn.ParseContactRecording(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.ContactSource = vdtn.ContactReplay
+		cfg.Recording = recording
+		// Follow the recording's horizon unless the user chose one — via
+		// the -duration flag or a -config file (a chosen duration may
+		// shorten the replay, never extend it).
+		if !set["duration"] && *confFile == "" {
+			cfg.Duration = recording.Duration
+		}
 	}
 
 	if *contacts != "" {
@@ -254,5 +313,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\ntrace written to %s\n", traceOut.Name())
+	}
+	if *recordTo != "" {
+		if err := os.WriteFile(*recordTo, []byte(recording.Format()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("contact trace (%d transitions) written to %s\n", len(recording.Transitions), *recordTo)
 	}
 }

@@ -1,0 +1,73 @@
+package vdtn_test
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"vdtn"
+)
+
+// TestContactCacheSpeedupArtifact measures the contact cache on a
+// multi-series, multi-x experiment — fig5's full 3-series × 5-TTL sweep at
+// a scaled horizon — and writes the comparison to BENCH_contactcache.json.
+// It asserts the two properties the cache promises: the cached table is
+// bit-identical to the uncached one, and the cached run is not slower.
+// (The committed artifact records the measured speedup; CI regenerates it.)
+func TestContactCacheSpeedupArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	exp, ok := vdtn.ExperimentByID("fig5")
+	if !ok {
+		t.Fatal("fig5 missing from catalog")
+	}
+	opt := vdtn.ExperimentOptions{Seeds: []uint64{1, 2}, Scale: 0.25}
+	cells := len(exp.Scenarios) * len(exp.Xs) * len(opt.Seeds)
+
+	start := time.Now()
+	plain := vdtn.RunExperiment(exp, opt)
+	uncached := time.Since(start)
+
+	cache := &vdtn.ContactCache{}
+	opt.ContactCache = cache
+	start = time.Now()
+	cached := vdtn.RunExperiment(exp, opt)
+	cachedDur := time.Since(start)
+
+	if !reflect.DeepEqual(plain.Series, cached.Series) {
+		t.Fatal("cached experiment table diverged from the uncached one")
+	}
+	speedup := float64(uncached) / float64(cachedDur)
+	t.Logf("%d cells: uncached %v, cached %v (%.2fx, %d recording passes)",
+		cells, uncached.Round(time.Millisecond), cachedDur.Round(time.Millisecond), speedup, cache.Recorded())
+	// Expected speedup is ~4x; the loose bound only catches a genuinely
+	// regressed cache, not scheduler noise on shared CI runners.
+	if speedup < 0.7 {
+		t.Errorf("cached run much slower than uncached: %.2fx", speedup)
+	}
+
+	artifact := map[string]any{
+		"benchmark":    "contact-trace cache: cached vs uncached experiment run",
+		"experiment":   exp.ID,
+		"series":       len(exp.Scenarios),
+		"x_points":     len(exp.Xs),
+		"seeds":        len(opt.Seeds),
+		"cells":        cells,
+		"scale":        opt.Scale,
+		"uncached_ms":  uncached.Milliseconds(),
+		"cached_ms":    cachedDur.Milliseconds(),
+		"speedup":      speedup,
+		"recordings":   cache.Recorded(),
+		"tables_equal": true,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_contactcache.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module vdtn
+
+go 1.24

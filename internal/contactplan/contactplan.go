@@ -166,6 +166,38 @@ func (p *Plan) MaxNode() int {
 // Horizon returns the end time of the last window.
 func (p *Plan) Horizon() float64 { return p.horizon }
 
+// Summary aggregates a plan for inspection: window and pair counts, the
+// highest node id, the horizon, and total / mean window duration.
+type Summary struct {
+	Windows      int
+	Pairs        int
+	MaxNode      int
+	Horizon      float64
+	TotalContact float64 // summed window durations, seconds
+	MeanWindow   float64 // mean window duration, seconds
+}
+
+// Summarize computes the plan's Summary.
+func (p *Plan) Summarize() Summary {
+	s := Summary{Windows: len(p.contacts), MaxNode: p.MaxNode(), Horizon: p.horizon}
+	pairs := make(map[[2]int]bool)
+	for _, c := range p.contacts {
+		pairs[[2]int{c.A, c.B}] = true
+		s.TotalContact += c.End - c.Start
+	}
+	s.Pairs = len(pairs)
+	if s.Windows > 0 {
+		s.MeanWindow = s.TotalContact / float64(s.Windows)
+	}
+	return s
+}
+
+// String renders the summary as a short multi-line report.
+func (s Summary) String() string {
+	return fmt.Sprintf("windows      %6d\npairs        %6d\nmax node     %6d\nhorizon      %9.1f s\ntotal contact%9.1f s\nmean window  %9.1f s",
+		s.Windows, s.Pairs, s.MaxNode, s.Horizon, s.TotalContact, s.MeanWindow)
+}
+
 // Format renders the plan in the parseable text format.
 func (p *Plan) Format() string {
 	var sb strings.Builder

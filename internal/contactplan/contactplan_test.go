@@ -140,3 +140,22 @@ func TestWindowsIsCopy(t *testing.T) {
 		t.Fatal("Windows aliases internal storage")
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	p, err := New([]Contact{
+		{A: 0, B: 1, Start: 0, End: 10},
+		{A: 0, B: 1, Start: 20, End: 30},
+		{A: 2, B: 5, Start: 5, End: 45},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Summarize()
+	want := Summary{Windows: 3, Pairs: 2, MaxNode: 5, Horizon: 45, TotalContact: 60, MeanWindow: 20}
+	if s != want {
+		t.Fatalf("Summarize() = %+v, want %+v", s, want)
+	}
+	if (&Plan{}).Summarize() != (Summary{MaxNode: -1}) {
+		t.Fatal("empty plan summary wrong")
+	}
+}

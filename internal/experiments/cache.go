@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"vdtn/internal/scenario"
+	"vdtn/internal/sim"
+	"vdtn/internal/wireless"
+)
+
+// ContactCache memoizes recorded contact traces by scenario fingerprint,
+// so a sweep's many (series, x) cells that share one (scenario, seed)
+// mobility process simulate it exactly once and replay it everywhere else.
+// Replayed cells are bit-identical to live cells (see sim.RecordContacts),
+// so a cached experiment table equals the uncached one.
+//
+// The cache is safe for the runner's worker pool: concurrent requests for
+// the same key block behind a single recording pass; requests for distinct
+// keys record in parallel. With Dir set, recordings are additionally
+// persisted as <fingerprint>.contacts files and reloaded on later runs.
+type ContactCache struct {
+	// Dir, when non-empty, is the on-disk persistence directory. It is
+	// created on first write.
+	Dir string
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	records uint64 // recording passes actually executed (not served from memory/disk)
+}
+
+type cacheEntry struct {
+	once sync.Once
+	rec  *wireless.Recording
+	err  error
+}
+
+// Recording returns the contact trace for cfg's mobility process,
+// recording it on first use. The returned recording is shared and must be
+// treated as immutable.
+func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
+	if cfg.Plan != nil {
+		return nil, fmt.Errorf("experiments: contact cache cannot serve a contact-plan scenario")
+	}
+	key := scenario.ContactFingerprint(cfg)
+
+	cc.mu.Lock()
+	if cc.entries == nil {
+		cc.entries = make(map[string]*cacheEntry)
+	}
+	e := cc.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		cc.entries[key] = e
+	}
+	cc.mu.Unlock()
+
+	e.once.Do(func() { e.rec, e.err = cc.load(key, cfg) })
+	return e.rec, e.err
+}
+
+// load fills one cache entry: from disk if persisted, else by running the
+// contacts-only recording pass (and persisting it when Dir is set).
+func (cc *ContactCache) load(key string, cfg sim.Config) (*wireless.Recording, error) {
+	path := ""
+	if cc.Dir != "" {
+		path = filepath.Join(cc.Dir, key+".contacts")
+		if data, err := os.ReadFile(path); err == nil {
+			rec, perr := wireless.ParseRecording(string(data))
+			if perr == nil {
+				return rec, nil
+			}
+			// A corrupt file is not fatal: fall through and re-record.
+		}
+	}
+	rec, err := sim.RecordContacts(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	cc.records++
+	cc.mu.Unlock()
+	if path != "" {
+		// Persistence is an optimization: a full disk must not fail a run
+		// that already holds a valid recording, so errors are swallowed.
+		persist(cc.Dir, path, rec.Format())
+	}
+	return rec, nil
+}
+
+// persist writes the trace via a temp file and rename, so concurrent
+// processes sharing one cache directory never observe a torn file (any
+// prefix of a trace parses cleanly — a truncated read would silently
+// replay wrong contacts).
+func persist(dir, path, text string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".contacts-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.WriteString(text); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Len returns the number of distinct contact traces held.
+func (cc *ContactCache) Len() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.entries)
+}
+
+// Recorded returns how many recording passes this cache actually ran —
+// the misses; hits served from memory or disk do not count.
+func (cc *ContactCache) Recorded() uint64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.records
+}

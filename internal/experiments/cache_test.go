@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vdtn/internal/contactplan"
+	"vdtn/internal/roadmap"
+	"vdtn/internal/sim"
+	"vdtn/internal/units"
+)
+
+// cacheConfig is the small scenario the cache tests sweep.
+func cacheConfig() sim.Config {
+	c := sim.DefaultConfig()
+	c.Duration = units.Minutes(30)
+	c.Map = roadmap.Grid(4, 4, 250)
+	c.Vehicles = 8
+	c.Relays = 2
+	c.VehicleBuffer = units.MB(5)
+	c.RelayBuffer = units.MB(10)
+	c.MsgIntervalLo = 8
+	c.MsgIntervalHi = 16
+	c.TTL = units.Minutes(15)
+	return c
+}
+
+// cacheExperiment is a multi-series, multi-x TTL sweep: every cell of one
+// seed shares the mobility process, so the cache should record once per
+// seed.
+func cacheExperiment() Experiment {
+	return Experiment{
+		ID:     "cache-test",
+		Title:  "cache test sweep",
+		XLabel: "ttl(min)",
+		Xs:     []float64{10, 15, 20},
+		Metric: MetricDeliveryProb,
+		Scenarios: []Scenario{
+			{Name: "FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
+			{Name: "Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
+			{Name: "SprayAndWait", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
+		},
+		Apply: applyTTL,
+	}
+}
+
+// TestCachedRunMatchesUncached is the harness-level equivalence guarantee:
+// the cached table is identical — every cell, bit for bit — to the
+// uncached one.
+func TestCachedRunMatchesUncached(t *testing.T) {
+	exp := cacheExperiment()
+	opt := Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig}
+
+	plain := Run(exp, opt)
+
+	cache := &ContactCache{}
+	opt.ContactCache = cache
+	cached := Run(exp, opt)
+
+	if !reflect.DeepEqual(plain.Series, cached.Series) {
+		t.Fatalf("cached table diverged from uncached:\nplain:  %+v\ncached: %+v", plain.Series, cached.Series)
+	}
+	// 3 series × 3 x × 2 seeds = 18 cells, but only one mobility process
+	// per seed.
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d traces, want 2 (one per seed)", cache.Len())
+	}
+	if cache.Recorded() != 2 {
+		t.Fatalf("cache ran %d recording passes, want 2", cache.Recorded())
+	}
+}
+
+// TestCacheNeverCrossesSeeds pins the keying contract at the cache level:
+// distinct seeds yield distinct entries with genuinely different traces.
+func TestCacheNeverCrossesSeeds(t *testing.T) {
+	cache := &ContactCache{}
+	recs := make(map[uint64]any)
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		rec, err := cache.Recording(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for other, prev := range recs {
+			if reflect.DeepEqual(prev, rec.Transitions) {
+				t.Fatalf("seed %d received seed %d's contact trace", seed, other)
+			}
+		}
+		recs[seed] = rec.Transitions
+
+		again, err := cache.Recording(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != rec {
+			t.Fatalf("seed %d: repeated lookup did not hit the cache", seed)
+		}
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("cache holds %d entries, want 4", cache.Len())
+	}
+}
+
+// TestCacheConcurrentAccess hammers one shared cache from many goroutines
+// mixing hits and misses; run under -race this is the worker-pool safety
+// test, and single-flight must still hold (one recording per key).
+func TestCacheConcurrentAccess(t *testing.T) {
+	cache := &ContactCache{}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				cfg := cacheConfig()
+				cfg.Seed = uint64(1 + (w+i)%3)
+				cfg.TTL = units.Minutes(float64(10 + i)) // must not affect the key
+				if _, err := cache.Recording(cfg); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("cache holds %d entries, want 3", cache.Len())
+	}
+	if cache.Recorded() != 3 {
+		t.Fatalf("%d recording passes for 3 keys: single-flight broken", cache.Recorded())
+	}
+}
+
+// TestCacheRaceUnderWorkerPool runs the real experiment runner with a
+// shared cache at full parallelism; under -race it exercises the
+// cache/worker-pool interaction end to end.
+func TestCacheRaceUnderWorkerPool(t *testing.T) {
+	cache := &ContactCache{}
+	exp := cacheExperiment()
+	tbl := Run(exp, Options{Seeds: []uint64{1, 2, 3}, Workers: 8, BaseConfig: cacheConfig, ContactCache: cache})
+	if len(tbl.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(tbl.Series))
+	}
+	if cache.Len() != 3 {
+		t.Fatalf("cache holds %d traces, want 3 (one per seed)", cache.Len())
+	}
+}
+
+// TestCacheDiskPersistence: a second cache pointed at the same directory
+// serves the trace from disk without re-recording, and the loaded trace
+// replays identically.
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cacheConfig()
+
+	first := &ContactCache{Dir: dir}
+	rec, err := first.Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Recorded() != 1 {
+		t.Fatalf("first cache ran %d recordings, want 1", first.Recorded())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.contacts"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("persisted files = %v (err %v), want exactly one", files, err)
+	}
+
+	second := &ContactCache{Dir: dir}
+	loaded, err := second.Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Recorded() != 0 {
+		t.Fatalf("second cache re-recorded despite the disk copy")
+	}
+	if !reflect.DeepEqual(rec, loaded) {
+		t.Fatal("disk round trip changed the recording")
+	}
+
+	// A corrupt file falls back to re-recording instead of failing.
+	if err := os.WriteFile(files[0], []byte("not a recording\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third := &ContactCache{Dir: dir}
+	refreshed, err := third.Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Recorded() != 1 {
+		t.Fatal("corrupt disk entry was not re-recorded")
+	}
+	if !reflect.DeepEqual(rec.Transitions, refreshed.Transitions) {
+		t.Fatal("re-recorded trace differs from the original")
+	}
+}
+
+// TestCachePersistErrorsAreBestEffort: an unwritable cache directory must
+// not fail a lookup that already holds a valid recording — persistence is
+// an optimization only.
+func TestCachePersistErrorsAreBestEffort(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	cache := &ContactCache{Dir: filepath.Join(dir, "sub")}
+	rec, err := cache.Recording(cacheConfig())
+	if err != nil {
+		t.Fatalf("unwritable cache dir failed the lookup: %v", err)
+	}
+	if len(rec.Transitions) == 0 {
+		t.Fatal("no recording despite best-effort persistence")
+	}
+}
+
+// TestCacheRejectsPlanScenarios: plan-mode cells cannot be cached.
+func TestCacheRejectsPlanScenarios(t *testing.T) {
+	plan, err := contactplan.New([]contactplan.Contact{{A: 0, B: 1, Start: 0, End: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cacheConfig()
+	cfg.Plan = plan
+	if _, err := (&ContactCache{}).Recording(cfg); err == nil {
+		t.Fatal("cache accepted a contact-plan scenario")
+	}
+}

@@ -108,6 +108,12 @@ type Options struct {
 	// BaseConfig supplies the scenario template; nil defaults to
 	// sim.DefaultConfig (the paper scenario).
 	BaseConfig func() sim.Config
+	// ContactCache, when non-nil, records each distinct (scenario, seed)
+	// mobility process once and replays it for every cell that shares it,
+	// instead of re-simulating vehicle motion and proximity scanning per
+	// cell. Results are bit-identical to uncached runs. The cache may be
+	// shared across experiments and is safe for concurrent use.
+	ContactCache *ContactCache
 }
 
 func (o Options) normalized() Options {
@@ -184,6 +190,19 @@ func Run(exp Experiment, opt Options) Table {
 				exp.Apply(&cfg, exp.Xs[j.xi])
 				if sc.Mutate != nil {
 					sc.Mutate(&cfg)
+				}
+				// The fingerprint is taken after Apply/Mutate, so sweeps
+				// that move mobility inputs (fleet size, map) key their
+				// cells correctly and only contact-identical cells share
+				// a trace.
+				if opt.ContactCache != nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
+					rec, err := opt.ContactCache.Recording(cfg)
+					if err != nil {
+						panic(fmt.Sprintf("experiments: %s cell (%s, x=%v): %v",
+							exp.ID, sc.Name, exp.Xs[j.xi], err))
+					}
+					cfg.ContactSource = sim.ContactReplay
+					cfg.Recording = rec
 				}
 				w, err := sim.New(cfg)
 				if err != nil {

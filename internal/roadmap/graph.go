@@ -10,7 +10,9 @@
 package roadmap
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"vdtn/internal/geo"
@@ -195,6 +197,34 @@ func (g *Graph) Validate() error {
 			len(g.component(0)), len(g.pts))
 	}
 	return nil
+}
+
+// Fingerprint returns a 64-bit content hash of the graph: vertex positions
+// in id order and the undirected edge set. Graphs with identical content
+// (same construction order) hash identically; mobility on the graph is a
+// pure function of (fingerprint, stream seed), which is what the
+// experiment harness's contact cache keys on.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(len(g.pts)))
+	for _, p := range g.pts {
+		word(math.Float64bits(p.X))
+		word(math.Float64bits(p.Y))
+	}
+	for a, es := range g.adj {
+		for _, e := range es {
+			if e.to > a {
+				word(uint64(a))
+				word(uint64(e.to))
+			}
+		}
+	}
+	return h.Sum64()
 }
 
 // PathPolyline converts a vertex-id path into its planar geometry.

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"vdtn/internal/roadmap"
+	"vdtn/internal/sim"
+)
+
+// defaultMapFingerprint caches the hash of roadmap.HelsinkiLike(), which a
+// nil Config.Map selects; the generator is deterministic, so one build per
+// process suffices.
+var defaultMapFingerprint = sync.OnceValue(func() uint64 {
+	return roadmap.HelsinkiLike().Fingerprint()
+})
+
+// ContactFingerprint returns a stable hex key identifying the contact
+// process of a configuration: exactly the inputs that determine when node
+// pairs enter and leave radio range — the seed, horizon, fleet composition,
+// mobility bounds, radio range, scan interval and the road map. Fields that
+// cannot move a vehicle or a scan tick (buffers, traffic, TTL, routing,
+// link rate, warm-up, tracing) are deliberately excluded, so every cell of
+// a policy or TTL sweep over one (scenario, seed) pair shares a key and can
+// share one recorded contact trace.
+func ContactFingerprint(c sim.Config) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f := func(v float64) { word(math.Float64bits(v)) }
+
+	word(1) // fingerprint schema version
+	word(c.Seed)
+	f(c.Duration)
+	word(uint64(c.Vehicles))
+	word(uint64(c.Relays))
+	f(c.SpeedLo)
+	f(c.SpeedHi)
+	f(c.PauseLo)
+	f(c.PauseHi)
+	f(c.Range)
+	f(c.ScanInterval)
+	if c.Map == nil {
+		word(defaultMapFingerprint())
+	} else {
+		word(c.Map.Fingerprint())
+	}
+
+	const hex = "0123456789abcdef"
+	sum := h.Sum64()
+	var out [16]byte
+	for i := range out {
+		out[i] = hex[(sum>>(60-4*i))&0xf]
+	}
+	return string(out[:])
+}

@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"vdtn/internal/roadmap"
+	"vdtn/internal/sim"
+	"vdtn/internal/units"
+)
+
+func TestContactFingerprintStable(t *testing.T) {
+	a := ContactFingerprint(sim.DefaultConfig())
+	b := ContactFingerprint(sim.DefaultConfig())
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("fingerprint %q not 16 hex chars", a)
+	}
+}
+
+// TestContactFingerprintSeparates is the cache-keying property test: every
+// mutation of a contact-process input — including each seed in a sweep —
+// must move the key, so cache hits can never cross seeds or scenarios.
+func TestContactFingerprintSeparates(t *testing.T) {
+	mutations := map[string]func(*sim.Config){
+		"seed":      func(c *sim.Config) { c.Seed++ },
+		"seed far":  func(c *sim.Config) { c.Seed += 1 << 40 },
+		"duration":  func(c *sim.Config) { c.Duration *= 2 },
+		"vehicles":  func(c *sim.Config) { c.Vehicles++ },
+		"relays":    func(c *sim.Config) { c.Relays++ },
+		"speed lo":  func(c *sim.Config) { c.SpeedLo *= 1.1 },
+		"speed hi":  func(c *sim.Config) { c.SpeedHi *= 1.1 },
+		"pause lo":  func(c *sim.Config) { c.PauseLo += 1 },
+		"pause hi":  func(c *sim.Config) { c.PauseHi += 1 },
+		"range":     func(c *sim.Config) { c.Range += 5 },
+		"scan":      func(c *sim.Config) { c.ScanInterval *= 2 },
+		"map":       func(c *sim.Config) { c.Map = roadmap.Grid(5, 5, 300) },
+		"map shape": func(c *sim.Config) { c.Map = roadmap.Grid(5, 5, 301) },
+	}
+	seen := map[string]string{"base": ContactFingerprint(sim.DefaultConfig())}
+	for name, mutate := range mutations {
+		c := sim.DefaultConfig()
+		mutate(&c)
+		fp := ContactFingerprint(c)
+		for other, otherFP := range seen {
+			if fp == otherFP {
+				t.Errorf("%s collides with %s: %s", name, other, fp)
+			}
+		}
+		seen[name] = fp
+	}
+}
+
+// TestContactFingerprintDistinctTriples sweeps a grid of (map, mobility,
+// seed) triples and requires pairwise-distinct keys.
+func TestContactFingerprintDistinctTriples(t *testing.T) {
+	maps := []*roadmap.Graph{nil, roadmap.Grid(4, 4, 200), roadmap.Grid(6, 3, 350)}
+	seen := make(map[string]string)
+	for mi, m := range maps {
+		for vehicles := 10; vehicles <= 30; vehicles += 10 {
+			for seed := uint64(1); seed <= 5; seed++ {
+				c := sim.DefaultConfig()
+				c.Map = m
+				c.Vehicles = vehicles
+				c.Seed = seed
+				key := ContactFingerprint(c)
+				label := fmt.Sprintf("(map %d, %d vehicles, seed %d)", mi, vehicles, seed)
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("triple %s collides with %s on key %s", label, prev, key)
+				}
+				seen[key] = label
+			}
+		}
+	}
+	if len(seen) != len(maps)*3*5 {
+		t.Fatalf("expected %d distinct keys, got %d", len(maps)*3*5, len(seen))
+	}
+}
+
+// TestContactFingerprintIgnoresNonMobilityFields: sweep-variable fields
+// that cannot move a vehicle must share the key — that sharing is the
+// entire speedup.
+func TestContactFingerprintIgnoresNonMobilityFields(t *testing.T) {
+	base := ContactFingerprint(sim.DefaultConfig())
+	mutations := map[string]func(*sim.Config){
+		"ttl":       func(c *sim.Config) { c.TTL = units.Minutes(180) },
+		"protocol":  func(c *sim.Config) { c.Protocol = sim.ProtoMaxProp },
+		"policy":    func(c *sim.Config) { c.Policy = sim.PolicyLifetime },
+		"rate":      func(c *sim.Config) { c.Rate = units.Mbit(1) },
+		"buffers":   func(c *sim.Config) { c.VehicleBuffer = units.MB(10) },
+		"traffic":   func(c *sim.Config) { c.MsgIntervalLo, c.MsgIntervalHi = 5, 10 },
+		"msg sizes": func(c *sim.Config) { c.MsgSizeLo, c.MsgSizeHi = units.KB(1), units.KB(2) },
+		"warmup":    func(c *sim.Config) { c.Warmup = units.Minutes(30) },
+		"copies":    func(c *sim.Config) { c.SprayCopies = 4 },
+	}
+	for name, mutate := range mutations {
+		c := sim.DefaultConfig()
+		mutate(&c)
+		if fp := ContactFingerprint(c); fp != base {
+			t.Errorf("%s moved the fingerprint: %s vs %s — cells would stop sharing traces", name, fp, base)
+		}
+	}
+}

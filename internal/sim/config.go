@@ -9,8 +9,40 @@ import (
 	"vdtn/internal/routing"
 	"vdtn/internal/trace"
 	"vdtn/internal/units"
+	"vdtn/internal/wireless"
 	"vdtn/internal/xrand"
 )
+
+// ContactSource selects where a run's contact process comes from.
+type ContactSource int
+
+const (
+	// ContactLive detects contacts by proximity scanning over the mobility
+	// models — the paper's mode, and the default.
+	ContactLive ContactSource = iota
+	// ContactRecord runs live and additionally captures every contact
+	// transition into Config.Recording, for later replay.
+	ContactRecord
+	// ContactReplay drives contacts from Config.Recording instead of
+	// mobility and proximity scanning. A replayed run is bit-identical to
+	// the live run that recorded the trace (same seed, same Result, same
+	// trace events), but skips all position and proximity work.
+	ContactReplay
+)
+
+// String names the contact source.
+func (s ContactSource) String() string {
+	switch s {
+	case ContactLive:
+		return "live"
+	case ContactRecord:
+		return "record"
+	case ContactReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("ContactSource(%d)", int(s))
+	}
+}
 
 // ProtocolKind selects the routing protocol for a scenario.
 type ProtocolKind int
@@ -133,6 +165,16 @@ type Config struct {
 	// exactly these messages (each with the scenario TTL). Use together
 	// with Plan for fully deterministic micro-scenarios.
 	Script []ScriptedMessage
+
+	// ContactSource selects live proximity scanning (default), recording,
+	// or replay of a recorded contact trace. Mutually exclusive with Plan.
+	ContactSource ContactSource
+	// Recording is the contact trace buffer: ContactRecord resets and
+	// fills it during the run, ContactReplay reads it. It must be non-nil
+	// exactly when ContactSource is not ContactLive. Replayed recordings
+	// must match the scenario's scan interval and node count; RecordContacts
+	// produces a matching trace from the scenario's mobility alone.
+	Recording *wireless.Recording
 
 	// Vehicles is the number of mobile nodes (ids 0..Vehicles-1).
 	Vehicles int
@@ -277,6 +319,39 @@ func (c Config) Validate() error {
 	if c.Plan != nil && c.Plan.MaxNode() >= c.Vehicles+c.Relays {
 		return fmt.Errorf("sim: contact plan references node %d, scenario has %d nodes",
 			c.Plan.MaxNode(), c.Vehicles+c.Relays)
+	}
+	switch c.ContactSource {
+	case ContactLive:
+		// Recording is ignored; allow a leftover pointer.
+	case ContactRecord, ContactReplay:
+		if c.Recording == nil {
+			return fmt.Errorf("sim: contact source %v needs Config.Recording", c.ContactSource)
+		}
+		if c.Plan != nil {
+			return fmt.Errorf("sim: contact source %v is exclusive with a contact plan", c.ContactSource)
+		}
+		if c.ContactSource == ContactReplay {
+			if err := c.Recording.Validate(); err != nil {
+				return err
+			}
+			if c.Recording.ScanInterval != c.ScanInterval {
+				return fmt.Errorf("sim: recording scan interval %v, scenario %v",
+					c.Recording.ScanInterval, c.ScanInterval)
+			}
+			// A shorter horizon replays a prefix of the trace and stays
+			// bit-identical to a live run of that horizon; a longer one
+			// would freeze contacts in their final recorded state.
+			if c.Duration > c.Recording.Duration {
+				return fmt.Errorf("sim: run duration %v exceeds the recording's %v",
+					c.Duration, c.Recording.Duration)
+			}
+			if c.Recording.MaxNode() >= c.Vehicles+c.Relays {
+				return fmt.Errorf("sim: recording references node %d, scenario has %d nodes",
+					c.Recording.MaxNode(), c.Vehicles+c.Relays)
+			}
+		}
+	default:
+		return fmt.Errorf("sim: unknown contact source %d", int(c.ContactSource))
 	}
 	for i, s := range c.Script {
 		n := c.Vehicles + c.Relays

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"vdtn/internal/contactplan"
+	"vdtn/internal/event"
+	"vdtn/internal/geo"
+	"vdtn/internal/mobility"
+	"vdtn/internal/roadmap"
+	"vdtn/internal/wireless"
+	"vdtn/internal/xrand"
+)
+
+// mobileEntity is the contacts-only stand-in for a Node: just an id and a
+// mobility model, enough for the medium's proximity scan.
+type mobileEntity struct {
+	id  int
+	mob mobility.Model
+}
+
+func (e *mobileEntity) ID() int                        { return e.id }
+func (e *mobileEntity) Position(now float64) geo.Point { return e.mob.Position(now) }
+
+// RecordContacts simulates only the mobility and proximity layer of cfg —
+// no routers, buffers or traffic — and returns the contact trace the full
+// scenario would produce. The trace is bit-identical to what a complete
+// live run records, because the contact process depends solely on the
+// per-node mobility streams (independent of the traffic and policy
+// streams) and the scan tick sequence, both of which are reproduced here
+// exactly. Running the returned recording through ContactReplay therefore
+// yields the same Result as a live run at a fraction of the cost — the
+// contract the experiment harness's contact cache is built on.
+func RecordContacts(cfg Config) (*wireless.Recording, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Plan != nil {
+		return nil, fmt.Errorf("sim: cannot record contacts of a contact-plan scenario")
+	}
+	if cfg.ContactSource == ContactReplay {
+		return nil, fmt.Errorf("sim: cannot record contacts of a replay scenario")
+	}
+	graph := cfg.Map
+	if graph == nil {
+		graph = roadmap.HelsinkiLike()
+	}
+	if err := graph.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: scenario map invalid: %w", err)
+	}
+
+	sched := event.NewScheduler()
+	medium := wireless.NewMedium(sched, wireless.Config{
+		Range:        cfg.Range,
+		Rate:         cfg.Rate,
+		ScanInterval: cfg.ScanInterval,
+	})
+	src := xrand.NewSource(cfg.Seed)
+	walkCfg := mobility.MapWalkConfig{
+		SpeedLoMs: cfg.SpeedLo,
+		SpeedHiMs: cfg.SpeedHi,
+		PauseLoS:  cfg.PauseLo,
+		PauseHiS:  cfg.PauseHi,
+	}
+	// Same ids, same mobility streams, same registration order as New.
+	for i := 0; i < cfg.Vehicles; i++ {
+		medium.Add(&mobileEntity{
+			id:  i,
+			mob: mobility.NewMapWalk(graph, src.StreamN("mobility", i), walkCfg),
+		})
+	}
+	if cfg.Relays > 0 {
+		sites := roadmap.RelaySites(graph, cfg.Relays)
+		for i := 0; i < cfg.Relays; i++ {
+			medium.Add(&mobileEntity{
+				id:  cfg.Vehicles + i,
+				mob: mobility.Stationary{At: graph.Vertex(sites[i])},
+			})
+		}
+	}
+
+	rec := &wireless.Recording{Duration: cfg.Duration}
+	medium.RecordTo(rec)
+	medium.Start(0)
+	sched.RunUntil(cfg.Duration)
+	return rec, nil
+}
+
+// RecordingPlan converts a recording into a contact plan, for export to
+// the plan text format or scenario JSON. Contacts still open at the end of
+// the trace are closed at its duration, so a plan-driven re-run is close
+// to but not bit-identical with a replay (plan windows also fire outside
+// the scan-tick event slots); use ContactReplay when exactness matters.
+func RecordingPlan(rec *wireless.Recording) (*contactplan.Plan, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	windows := rec.Windows()
+	contacts := make([]contactplan.Contact, len(windows))
+	for i, w := range windows {
+		contacts[i] = contactplan.Contact{A: w.A, B: w.B, Start: w.Start, End: w.End}
+	}
+	return contactplan.New(contacts)
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"vdtn/internal/roadmap"
+	"vdtn/internal/trace"
+	"vdtn/internal/units"
+	"vdtn/internal/wireless"
+)
+
+// replayConfig is a deliberately tight scenario — small buffers, frequent
+// messages — so every protocol exercises drops, aborts and TTL expiry, the
+// code paths where an ordering divergence between live and replayed runs
+// would surface.
+func replayConfig(seed uint64) Config {
+	c := DefaultConfig()
+	c.Seed = seed
+	c.Duration = units.Minutes(40)
+	c.Map = roadmap.Grid(4, 4, 250)
+	c.Vehicles = 8
+	c.Relays = 2
+	c.VehicleBuffer = units.MB(5)
+	c.RelayBuffer = units.MB(10)
+	c.MsgIntervalLo = 8
+	c.MsgIntervalHi = 16
+	c.TTL = units.Minutes(15)
+	return c
+}
+
+// runTraced runs cfg with an in-memory trace log attached.
+func runTraced(t *testing.T, cfg Config) (Result, []trace.Event) {
+	t.Helper()
+	var lg trace.Log
+	cfg.Trace = lg.Append
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Run(), lg.Events()
+}
+
+// TestReplayEquivalence is the record/replay cache's headline guarantee:
+// for every protocol × policy pair, a run replaying a recorded contact
+// trace is bit-identical — full Result and full event trace — to the live
+// run that recorded it, and recording itself does not perturb the run.
+func TestReplayEquivalence(t *testing.T) {
+	protocols := []ProtocolKind{
+		ProtoEpidemic, ProtoSprayAndWait, ProtoSprayAndWaitVanilla,
+		ProtoMaxProp, ProtoPRoPHET, ProtoDirectDelivery, ProtoFirstContact,
+	}
+	policies := []PolicyKind{
+		PolicyFIFOFIFO, PolicyRandomFIFO, PolicyLifetime,
+		PolicySize, PolicyHopMOFO, PolicyFIFOOldestAge,
+	}
+	for _, proto := range protocols {
+		for _, pol := range policies {
+			t.Run(proto.String()+"/"+pol.String(), func(t *testing.T) {
+				base := replayConfig(7)
+				base.Protocol = proto
+				base.Policy = pol
+
+				liveRes, liveEvents := runTraced(t, base)
+
+				recCfg := base
+				rec := &wireless.Recording{}
+				recCfg.ContactSource = ContactRecord
+				recCfg.Recording = rec
+				recRes, recEvents := runTraced(t, recCfg)
+				if liveRes != recRes {
+					t.Fatalf("recording perturbed the run:\nlive:   %+v\nrecord: %+v", liveRes, recRes)
+				}
+				if !reflect.DeepEqual(liveEvents, recEvents) {
+					t.Fatal("recording perturbed the event trace")
+				}
+				if len(rec.Transitions) == 0 {
+					t.Fatal("recorded no contact transitions")
+				}
+				if err := rec.Validate(); err != nil {
+					t.Fatalf("recorded trace invalid: %v", err)
+				}
+
+				repCfg := base
+				repCfg.ContactSource = ContactReplay
+				repCfg.Recording = rec
+				repRes, repEvents := runTraced(t, repCfg)
+				if liveRes != repRes {
+					t.Fatalf("replay diverged from live run:\nlive:   %+v\nreplay: %+v", liveRes, repRes)
+				}
+				if !reflect.DeepEqual(liveEvents, repEvents) {
+					for i := range liveEvents {
+						if i >= len(repEvents) || liveEvents[i] != repEvents[i] {
+							t.Fatalf("event %d diverged: live %+v, replay %+v (live %d events, replay %d)",
+								i, liveEvents[i], eventAt(repEvents, i), len(liveEvents), len(repEvents))
+						}
+					}
+					t.Fatalf("replay trace has %d extra events", len(repEvents)-len(liveEvents))
+				}
+			})
+		}
+	}
+}
+
+func eventAt(events []trace.Event, i int) any {
+	if i < len(events) {
+		return events[i]
+	}
+	return "missing"
+}
+
+// TestRecordContactsMatchesFullRun pins the contact cache's producer
+// contract: the contacts-only mobility pass records exactly the trace a
+// complete live simulation records, because the contact process is
+// independent of traffic and routing.
+func TestRecordContactsMatchesFullRun(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 5} {
+		cfg := replayConfig(seed)
+
+		fullCfg := cfg
+		fullRec := &wireless.Recording{}
+		fullCfg.ContactSource = ContactRecord
+		fullCfg.Recording = fullRec
+		w, err := New(fullCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Run()
+
+		onlyRec, err := RecordContacts(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fullRec, onlyRec) {
+			t.Fatalf("seed %d: contacts-only pass diverged from full run: %d vs %d transitions",
+				seed, len(onlyRec.Transitions), len(fullRec.Transitions))
+		}
+	}
+}
+
+// TestReplayAcrossProtocols is the cache's sharing property: one recording
+// taken under one protocol drives bit-identical contact processes under
+// every other protocol (contacts don't depend on routing).
+func TestReplayAcrossProtocols(t *testing.T) {
+	cfg := replayConfig(3)
+	rec, err := RecordContacts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contacts uint64
+	for i, proto := range []ProtocolKind{ProtoEpidemic, ProtoMaxProp, ProtoPRoPHET} {
+		c := cfg
+		c.Protocol = proto
+		c.ContactSource = ContactReplay
+		c.Recording = rec
+		live := cfg
+		live.Protocol = proto
+		liveRes, liveEvents := runTraced(t, live)
+		repRes, repEvents := runTraced(t, c)
+		if liveRes != repRes || !reflect.DeepEqual(liveEvents, repEvents) {
+			t.Fatalf("%v: shared-recording replay diverged from live run", proto)
+		}
+		if i == 0 {
+			contacts = repRes.Contacts
+		} else if repRes.Contacts != contacts {
+			t.Fatalf("%v: contact count %d differs across protocols (want %d)", proto, repRes.Contacts, contacts)
+		}
+	}
+}
+
+// TestRecordingFormatRoundTripsThroughReplay: a recording that has been
+// serialized and parsed back drives the same replay as the original.
+func TestRecordingFormatRoundTripsThroughReplay(t *testing.T) {
+	cfg := replayConfig(11)
+	rec, err := RecordContacts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := wireless.ParseRecording(rec.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, parsed) {
+		t.Fatal("recording changed across Format/ParseRecording")
+	}
+
+	cfg.ContactSource = ContactReplay
+	cfg.Recording = parsed
+	resParsed, _ := runTraced(t, cfg)
+	cfg.Recording = rec
+	resOrig, _ := runTraced(t, cfg)
+	if resParsed != resOrig {
+		t.Fatal("parsed recording replayed differently from the original")
+	}
+}
+
+// TestRecordingPlan checks the recording → contact-plan export: every
+// recorded window survives, open contacts are closed at the horizon, and
+// the plan runs.
+func TestRecordingPlan(t *testing.T) {
+	cfg := replayConfig(4)
+	rec, err := RecordContacts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := RecordingPlan(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() == 0 {
+		t.Fatal("empty plan from a non-empty recording")
+	}
+	if plan.Horizon() > rec.Duration {
+		t.Fatalf("plan horizon %v beyond recording duration %v", plan.Horizon(), rec.Duration)
+	}
+	planCfg := cfg
+	planCfg.Plan = plan
+	w, err := New(planCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if res.Contacts == 0 {
+		t.Fatal("plan-driven re-run saw no contacts")
+	}
+}
+
+// TestReplayPrefixEquivalence: replaying a long recording over a shorter
+// horizon equals a live run of that shorter horizon — contact traces are
+// prefix-causal, which is why Validate allows Duration <= Recording.Duration.
+func TestReplayPrefixEquivalence(t *testing.T) {
+	long := replayConfig(13) // 40 minutes
+	rec, err := RecordContacts(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := replayConfig(13)
+	short.Duration = long.Duration / 2
+	liveRes, liveEvents := runTraced(t, short)
+
+	short.ContactSource = ContactReplay
+	short.Recording = rec
+	repRes, repEvents := runTraced(t, short)
+	if liveRes != repRes || !reflect.DeepEqual(liveEvents, repEvents) {
+		t.Fatalf("prefix replay diverged from the short live run:\nlive:   %+v\nreplay: %+v", liveRes, repRes)
+	}
+}
+
+// TestReplayConfigValidation covers the new Validate arms.
+func TestReplayConfigValidation(t *testing.T) {
+	rec, err := RecordContacts(replayConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func(*Config){
+		"record without recording": func(c *Config) { c.ContactSource = ContactRecord },
+		"replay without recording": func(c *Config) { c.ContactSource = ContactReplay },
+		"unknown source":           func(c *Config) { c.ContactSource = ContactSource(99) },
+		"replay scan mismatch": func(c *Config) {
+			c.ContactSource = ContactReplay
+			c.Recording = rec
+			c.ScanInterval = rec.ScanInterval * 2
+		},
+		"replay node overflow": func(c *Config) {
+			c.ContactSource = ContactReplay
+			c.Recording = rec
+			c.Vehicles = 2
+			c.Relays = 0
+		},
+		"replay beyond recording horizon": func(c *Config) {
+			c.ContactSource = ContactReplay
+			c.Recording = rec
+			c.Duration = rec.Duration * 2
+		},
+	}
+	for name, mutate := range cases {
+		c := replayConfig(1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+
+	ok := replayConfig(1)
+	ok.ContactSource = ContactReplay
+	ok.Recording = rec
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid replay config rejected: %v", err)
+	}
+}

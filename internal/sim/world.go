@@ -92,7 +92,9 @@ func New(cfg Config) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	planMode := cfg.Plan != nil
+	// Plan and replay runs never query positions, so mobility (and the
+	// map behind it) is skipped entirely and every node sits at the origin.
+	planMode := cfg.Plan != nil || cfg.ContactSource == ContactReplay
 	graph := cfg.Map
 	if !planMode {
 		if graph == nil {
@@ -206,14 +208,21 @@ func (w *World) Run() Result {
 	}
 	w.ran = true
 
-	if w.cfg.Plan != nil {
+	switch {
+	case w.cfg.Plan != nil:
 		windows := w.cfg.Plan.Windows()
 		wins := make([]wireless.ContactWindow, len(windows))
 		for i, c := range windows {
 			wins[i] = wireless.ContactWindow{A: c.A, B: c.B, Start: c.Start, End: c.End}
 		}
 		w.medium.StartPlan(wins)
-	} else {
+	case w.cfg.ContactSource == ContactReplay:
+		w.medium.StartReplay(0, w.cfg.Recording)
+	default:
+		if w.cfg.ContactSource == ContactRecord {
+			*w.cfg.Recording = wireless.Recording{Duration: w.cfg.Duration}
+			w.medium.RecordTo(w.cfg.Recording)
+		}
 		w.medium.Start(0)
 	}
 	w.sched.Every(w.cfg.SweepInterval, w.cfg.SweepInterval, w.sweep)

@@ -1,0 +1,244 @@
+package wireless
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"vdtn/internal/event"
+	"vdtn/internal/geo"
+)
+
+// mover returns an entity oscillating on the x axis so contacts with a
+// fixed origin entity repeatedly form and break.
+func mover(id int, period float64) *scripted {
+	return &scripted{id: id, fn: func(now float64) geo.Point {
+		return geo.Point{X: 50 + 40*math.Sin(2*math.Pi*now/period), Y: float64(10 * id)}
+	}}
+}
+
+// liveRecording runs a scan-driven medium over the given entities and
+// returns the captured trace plus the handler's observed contact events.
+func liveRecording(t *testing.T, entities []*scripted, horizon float64) (*Recording, *recorder) {
+	t.Helper()
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	h := &recorder{}
+	m.SetHandler(h)
+	for _, e := range entities {
+		m.Add(e)
+	}
+	rec := &Recording{Duration: horizon}
+	m.RecordTo(rec)
+	m.Start(0)
+	s.RunUntil(horizon)
+	return rec, h
+}
+
+func crossingEntities() []*scripted {
+	return []*scripted{
+		fixed(0, geo.Point{X: 60, Y: 0}),
+		mover(1, 60),
+		mover(2, 45),
+		fixed(3, geo.Point{X: 500, Y: 500}), // never in range
+	}
+}
+
+func TestRecordingCapturesScanTransitions(t *testing.T) {
+	rec, h := liveRecording(t, crossingEntities(), 120)
+	if len(rec.Transitions) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	ups := 0
+	for _, tr := range rec.Transitions {
+		if tr.Up {
+			ups++
+		}
+		if tr.A == 3 || tr.B == 3 {
+			t.Fatalf("out-of-range entity 3 appears in %+v", tr)
+		}
+		if tr.Time != math.Trunc(tr.Time) {
+			t.Fatalf("transition off the 1 s scan grid: %+v", tr)
+		}
+	}
+	if ups != len(h.ups) {
+		t.Fatalf("recorded %d ups, handler saw %d", ups, len(h.ups))
+	}
+	if rec.MaxNode() != 2 {
+		t.Fatalf("MaxNode = %d, want 2", rec.MaxNode())
+	}
+}
+
+func TestReplayMatchesLiveScan(t *testing.T) {
+	rec, live := liveRecording(t, crossingEntities(), 120)
+
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	h := &recorder{}
+	m.SetHandler(h)
+	// Positions must never be queried during replay.
+	for i := 0; i < 4; i++ {
+		id := i
+		m.Add(&scripted{id: id, fn: func(float64) geo.Point {
+			panic("replay queried a position")
+		}})
+	}
+	// Re-record while replaying: the round trip must reproduce the trace.
+	rerec := &Recording{Duration: 120}
+	m.RecordTo(rerec)
+	m.StartReplay(0, rec)
+	s.RunUntil(120)
+
+	if !reflect.DeepEqual(h.ups, live.ups) || !reflect.DeepEqual(h.downs, live.downs) {
+		t.Fatalf("replay events diverged:\nlive ups %v downs %v\nreplay ups %v downs %v",
+			live.ups, live.downs, h.ups, h.downs)
+	}
+	if !reflect.DeepEqual(rerec.Transitions, rec.Transitions) {
+		t.Fatal("re-recorded replay trace differs from the original")
+	}
+	if m.ContactsSeen != uint64(len(live.ups)) {
+		t.Fatalf("ContactsSeen = %d, want %d", m.ContactsSeen, len(live.ups))
+	}
+}
+
+func TestReplayAbortsTransfersOnRecordedDowns(t *testing.T) {
+	rec := &Recording{
+		ScanInterval: 1,
+		Duration:     30,
+		Transitions: []Transition{
+			{Time: 1, A: 0, B: 1, Up: true},
+			{Time: 5, A: 0, B: 1, Up: false},
+		},
+	}
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	m.Add(fixed(0, geo.Point{}))
+	m.Add(fixed(1, geo.Point{}))
+	h := &recorder{}
+	aborted := false
+	h.onUp = func(now float64, a, b Entity) {
+		// 30 MB at 6 Mbit/s is 40 s — cannot finish before the down at 5 s.
+		m.StartTransfer(now, a.ID(), b.ID(), 30e6, nil, func(float64) { aborted = true })
+	}
+	m.SetHandler(h)
+	m.StartReplay(0, rec)
+	s.RunUntil(30)
+	if !aborted {
+		t.Fatal("recorded contact-down did not abort the in-flight transfer")
+	}
+	if m.TransfersAborted != 1 {
+		t.Fatalf("TransfersAborted = %d, want 1", m.TransfersAborted)
+	}
+}
+
+func TestStartReplayPanics(t *testing.T) {
+	cases := map[string]func(*Medium){
+		"after Start": func(m *Medium) {
+			m.Start(0)
+			m.StartReplay(0, &Recording{ScanInterval: 1, Duration: 1})
+		},
+		"scan mismatch": func(m *Medium) {
+			m.StartReplay(0, &Recording{ScanInterval: 2, Duration: 1})
+		},
+		"unknown node": func(m *Medium) {
+			m.StartReplay(0, &Recording{ScanInterval: 1, Duration: 1,
+				Transitions: []Transition{{Time: 0, A: 0, B: 9, Up: true}}})
+		},
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := event.NewScheduler()
+			m := NewMedium(s, testCfg())
+			m.Add(fixed(0, geo.Point{}))
+			m.Add(fixed(1, geo.Point{}))
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn(m)
+		})
+	}
+}
+
+func TestRecordingFormatRoundTrip(t *testing.T) {
+	rec, _ := liveRecording(t, crossingEntities(), 90)
+	parsed, err := ParseRecording(rec.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, parsed) {
+		t.Fatalf("round trip changed the recording:\nin:  %+v\nout: %+v", rec, parsed)
+	}
+	// Fractional scan intervals and times must survive exactly.
+	frac := &Recording{ScanInterval: 0.1, Duration: 1.7,
+		Transitions: []Transition{{Time: 0.30000000000000004, A: 1, B: 2, Up: true}}}
+	parsed, err = ParseRecording(frac.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(frac, parsed) {
+		t.Fatal("fractional times did not round-trip exactly")
+	}
+}
+
+func TestParseRecordingRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"scan 1\nduration 10\n0 5 5 up\n",             // self contact (A == B fails ordering)
+		"scan 1\nduration 10\n0 2 1 up\n",             // unordered pair
+		"scan 1\nduration 10\n5 1 2 up\n3 1 2 down\n", // time reversal
+		"scan 1\nduration 10\n0 1 2 sideways\n",       // bad direction
+		"scan 1\nduration 10\n0 1 2 up\n1 1 2 up\n",   // repeated state
+		"scan 1\nduration 10\n20 1 2 up\n",            // beyond duration
+		"scan 0\nduration 10\n",                       // bad interval
+		"duration 10\nwat\n",                          // unrecognized line
+	}
+	for i, text := range bad {
+		if _, err := ParseRecording(text); err == nil {
+			t.Errorf("case %d accepted: %q", i, text)
+		}
+	}
+}
+
+func TestRecordingWindows(t *testing.T) {
+	rec := &Recording{
+		ScanInterval: 1,
+		Duration:     100,
+		Transitions: []Transition{
+			{Time: 2, A: 0, B: 1, Up: true},
+			{Time: 5, A: 0, B: 2, Up: true},
+			{Time: 8, A: 0, B: 1, Up: false},
+			{Time: 10, A: 0, B: 1, Up: true}, // second window of the same pair
+		},
+	}
+	got := rec.Windows()
+	want := []ContactWindow{
+		{A: 0, B: 1, Start: 2, End: 8},
+		{A: 0, B: 2, Start: 5, End: 100}, // open contact closed at the horizon
+		{A: 0, B: 1, Start: 10, End: 100},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Windows() = %+v, want %+v", got, want)
+	}
+}
+
+// TestRecordingWindowsDropsFinalTickUp: the last scan tick of a run lands
+// exactly at the horizon, so an up recorded there would make a zero-length
+// window that contactplan.New rejects; Windows must drop it.
+func TestRecordingWindowsDropsFinalTickUp(t *testing.T) {
+	rec := &Recording{
+		ScanInterval: 1,
+		Duration:     100,
+		Transitions: []Transition{
+			{Time: 3, A: 0, B: 1, Up: true},
+			{Time: 100, A: 0, B: 2, Up: true}, // up on the final tick
+		},
+	}
+	want := []ContactWindow{{A: 0, B: 1, Start: 3, End: 100}}
+	if got := rec.Windows(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Windows() = %+v, want %+v", got, want)
+	}
+}

@@ -100,6 +100,10 @@ type Medium struct {
 	stopScan func()
 	planned  bool
 
+	rec       *Recording // transition tap, nil when not recording
+	replay    *Recording // transition source in replay mode
+	replayIdx int
+
 	// Counters for tests and reports.
 	ContactsSeen       uint64 // ContactUp events
 	TransfersStarted   uint64
@@ -176,22 +180,80 @@ func (m *Medium) StartPlan(windows []ContactWindow) {
 			if m.connected[k] {
 				return // overlapping windows merged upstream; be safe
 			}
-			m.connected[k] = true
-			m.ContactsSeen++
-			if m.handler != nil {
-				m.handler.ContactUp(now, m.byID[k[0]], m.byID[k[1]])
-			}
+			m.raise(now, k)
 		})
 		m.sched.At(win.End, func(now float64) {
 			if !m.connected[k] {
 				return
 			}
-			delete(m.connected, k)
-			m.abortPair(now, k)
-			if m.handler != nil {
-				m.handler.ContactDown(now, m.byID[k[0]], m.byID[k[1]])
-			}
+			m.drop(now, k)
 		})
+	}
+}
+
+// RecordTo taps every subsequent contact transition into rec, stamping the
+// medium's scan interval on it. Install the tap before Start (or StartPlan /
+// StartReplay). A trace recorded from a scan- or replay-driven run drives a
+// bit-identical re-run via StartReplay; a trace recorded from StartPlan may
+// hold off-tick transition times, which replay quantizes to the next scan
+// tick. Recording costs one slice append per transition.
+func (m *Medium) RecordTo(rec *Recording) {
+	if rec == nil {
+		panic("wireless: RecordTo(nil)")
+	}
+	if m.stopScan != nil || m.planned {
+		panic("wireless: RecordTo after Start")
+	}
+	rec.ScanInterval = m.cfg.ScanInterval
+	m.rec = rec
+}
+
+// StartReplay drives contacts from a recorded transition trace instead of
+// proximity scanning. It re-runs the recording through the same periodic
+// tick loop the live scan uses — each tick applies the recorded transitions
+// due at or before it, downs and ups in recorded order — so a replayed run
+// schedules exactly the same events in exactly the same order as the live
+// run that produced the recording: results are bit-identical. Entity
+// positions are never queried. The recording's scan interval must equal the
+// medium's, and every referenced node must be registered; violations panic
+// as scenario-assembly bugs. Start, StartPlan and StartReplay are mutually
+// exclusive.
+func (m *Medium) StartReplay(from float64, rec *Recording) {
+	if m.stopScan != nil || m.planned {
+		panic("wireless: StartReplay after Start")
+	}
+	if rec.ScanInterval != m.cfg.ScanInterval {
+		panic(fmt.Sprintf("wireless: recording scan interval %v, medium %v",
+			rec.ScanInterval, m.cfg.ScanInterval))
+	}
+	for _, tr := range rec.Transitions {
+		if _, ok := m.byID[tr.A]; !ok {
+			panic(fmt.Sprintf("wireless: recording references unknown node %d", tr.A))
+		}
+		if _, ok := m.byID[tr.B]; !ok {
+			panic(fmt.Sprintf("wireless: recording references unknown node %d", tr.B))
+		}
+	}
+	m.replay = rec
+	m.stopScan = m.sched.Every(from, m.cfg.ScanInterval, m.replayTick)
+}
+
+// replayTick applies the recorded transitions due at this scan tick. A
+// recording captured from a live scan holds only tick-aligned timestamps,
+// so each transition fires on the exact tick it was recorded at; off-tick
+// timestamps (hand-edited traces) apply at the first tick at or after them.
+func (m *Medium) replayTick(now float64) {
+	trs := m.replay.Transitions
+	for m.replayIdx < len(trs) && trs[m.replayIdx].Time <= now {
+		tr := trs[m.replayIdx]
+		m.replayIdx++
+		k := key(tr.A, tr.B)
+		switch {
+		case tr.Up && !m.connected[k]:
+			m.raise(now, k)
+		case !tr.Up && m.connected[k]:
+			m.drop(now, k)
+		}
 	}
 }
 
@@ -249,11 +311,7 @@ func (m *Medium) scan(now float64) {
 		return downs[i][1] < downs[j][1]
 	})
 	for _, k := range downs {
-		delete(m.connected, k)
-		m.abortPair(now, k)
-		if m.handler != nil {
-			m.handler.ContactDown(now, m.byID[k[0]], m.byID[k[1]])
-		}
+		m.drop(now, k)
 	}
 
 	var ups []pairKey
@@ -269,11 +327,33 @@ func (m *Medium) scan(now float64) {
 		return ups[i][1] < ups[j][1]
 	})
 	for _, k := range ups {
-		m.connected[k] = true
-		m.ContactsSeen++
-		if m.handler != nil {
-			m.handler.ContactUp(now, m.byID[k[0]], m.byID[k[1]])
-		}
+		m.raise(now, k)
+	}
+}
+
+// raise fires a contact-up transition: state, counters, recording tap,
+// handler. All three contact sources (scan, plan, replay) funnel through
+// here so a recorded run and its replay see identical side-effect order.
+func (m *Medium) raise(now float64, k pairKey) {
+	m.connected[k] = true
+	m.ContactsSeen++
+	if m.rec != nil {
+		m.rec.Transitions = append(m.rec.Transitions, Transition{Time: now, A: k[0], B: k[1], Up: true})
+	}
+	if m.handler != nil {
+		m.handler.ContactUp(now, m.byID[k[0]], m.byID[k[1]])
+	}
+}
+
+// drop fires a contact-down transition, aborting any transfer on the pair.
+func (m *Medium) drop(now float64, k pairKey) {
+	delete(m.connected, k)
+	m.abortPair(now, k)
+	if m.rec != nil {
+		m.rec.Transitions = append(m.rec.Transitions, Transition{Time: now, A: k[0], B: k[1], Up: false})
+	}
+	if m.handler != nil {
+		m.handler.ContactDown(now, m.byID[k[0]], m.byID[k[1]])
 	}
 }
 

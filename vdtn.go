@@ -27,6 +27,33 @@
 // Runs are deterministic: identical (Config, Seed) pairs produce identical
 // Results. See the examples directory for scenario customization and for
 // plugging in a custom routing protocol.
+//
+// # Contact recording and replay
+//
+// A run's contact process — when node pairs enter and leave radio range —
+// depends only on the seed, the map, the fleet and the mobility and radio
+// parameters, never on traffic or routing. Config.ContactSource exploits
+// that:
+//
+//   - ContactLive (default): contacts come from proximity scanning over
+//     the mobility models, as in the paper.
+//   - ContactRecord: run live and capture every contact transition into
+//     Config.Recording.
+//   - ContactReplay: drive contacts from Config.Recording instead of
+//     mobility. A replayed run is bit-identical to the live run that
+//     recorded the trace — same Result, same event trace — but skips all
+//     position and proximity work.
+//
+// RecordContacts produces the trace from mobility alone (no routing, no
+// traffic) at a fraction of a full run's cost. The experiment harness
+// builds on this: ExperimentOptions.ContactCache records each distinct
+// (scenario, seed) mobility process once — keyed by ContactFingerprint —
+// and replays it for every series and x-axis cell that shares it, making
+// multi-cell sweeps several times faster with provably unchanged results.
+//
+//	cache := &vdtn.ContactCache{}
+//	opt := vdtn.ExperimentOptions{Seeds: []uint64{1, 2, 3}, ContactCache: cache}
+//	tbl := vdtn.RunExperiment(exp, opt) // identical to the uncached table
 package vdtn
 
 import (
@@ -39,9 +66,11 @@ import (
 	"vdtn/internal/experiments"
 	"vdtn/internal/reports"
 	"vdtn/internal/routing"
+	"vdtn/internal/scenario"
 	"vdtn/internal/sim"
 	"vdtn/internal/stats"
 	"vdtn/internal/trace"
+	"vdtn/internal/wireless"
 	"vdtn/internal/xrand"
 )
 
@@ -156,6 +185,46 @@ func NewContactPlan(contacts []Contact) (*ContactPlan, error) {
 func ParseContactPlan(text string) (*ContactPlan, error) {
 	return contactplan.Parse(text)
 }
+
+// Contact recording and replay: capture a live run's contact transitions
+// and re-drive later runs from the trace, bit-identically (see the package
+// comment). Select via Config.ContactSource and Config.Recording.
+type (
+	// ContactRecording is a captured contact transition trace.
+	ContactRecording = wireless.Recording
+	// ContactTransition is one recorded contact state change.
+	ContactTransition = wireless.Transition
+	// ContactSource selects live scanning, recording, or replay.
+	ContactSource = sim.ContactSource
+	// ContactCache memoizes recorded traces by scenario fingerprint for
+	// the experiment harness (ExperimentOptions.ContactCache).
+	ContactCache = experiments.ContactCache
+)
+
+// Contact sources.
+const (
+	ContactLive   = sim.ContactLive
+	ContactRecord = sim.ContactRecord
+	ContactReplay = sim.ContactReplay
+)
+
+// RecordContacts simulates only cfg's mobility and proximity layer and
+// returns the contact trace a full live run would record.
+func RecordContacts(cfg Config) (*ContactRecording, error) { return sim.RecordContacts(cfg) }
+
+// ParseContactRecording reads the text form written by
+// ContactRecording.Format.
+func ParseContactRecording(text string) (*ContactRecording, error) {
+	return wireless.ParseRecording(text)
+}
+
+// RecordingPlan converts a recording into a contact plan (open contacts
+// are closed at the trace horizon).
+func RecordingPlan(rec *ContactRecording) (*ContactPlan, error) { return sim.RecordingPlan(rec) }
+
+// ContactFingerprint returns the stable key identifying cfg's contact
+// process — what ContactCache keys recorded traces on.
+func ContactFingerprint(cfg Config) string { return scenario.ContactFingerprint(cfg) }
 
 // Tracing and offline analysis. Install a consumer via Config.Trace:
 //
