@@ -9,13 +9,18 @@
 //	experiments -figure fig8 -scale 0.25        # quick shape check
 //	experiments -figure all -contact-cache      # one mobility sim per seed
 //	experiments -cache-dir traces/ -seeds 5     # persist traces across runs
+//	experiments -figure all -prewarm -seeds 5   # record all traces up front
 //
 // Tables print to stdout; -out additionally writes one CSV per experiment.
 // -contact-cache records each distinct (scenario, seed) mobility process
 // once and replays it for every series and x cell that shares it — results
 // are bit-identical to uncached runs, several times faster on multi-cell
-// sweeps. -cache-dir additionally persists the traces on disk (and implies
-// -contact-cache).
+// sweeps. -cache-dir additionally persists the traces on disk in the
+// integrity-checked binary format (and implies -contact-cache); legacy
+// text traces are still read and upgraded in place. -prewarm records the
+// traces of every selected experiment in parallel before the first sweep
+// starts, instead of on first touch inside it. A failing cell exits
+// non-zero naming its (series, x, seed) coordinates.
 package main
 
 import (
@@ -38,6 +43,8 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		useCC  = flag.Bool("contact-cache", false, "record each (scenario, seed) mobility process once and replay it across cells")
 		ccDir  = flag.String("cache-dir", "", "persist recorded contact traces in this directory (implies -contact-cache)")
+		warm   = flag.Bool("prewarm", false, "pre-record all contact traces across the selected experiments before the first sweep (implies -contact-cache)")
+		lazy   = flag.Bool("lazy-record", false, "record contact traces on first touch inside the sweep instead of the parallel pre-recording pass")
 	)
 	flag.Parse()
 
@@ -65,11 +72,33 @@ func main() {
 	for i := range seedList {
 		seedList[i] = uint64(i + 1)
 	}
-	opt := vdtn.ExperimentOptions{Seeds: seedList, Scale: *scale, Workers: *work}
-	if *useCC || *ccDir != "" {
+	opt := vdtn.ExperimentOptions{Seeds: seedList, Scale: *scale, Workers: *work, LazyRecord: *lazy}
+	if *useCC || *ccDir != "" || *warm {
 		// One cache across all figures: they sweep the same scenarios, so
 		// later figures replay the traces the first one recorded.
-		opt.ContactCache = &vdtn.ContactCache{Dir: *ccDir}
+		opt.ContactCache = &vdtn.ContactCache{
+			Dir:  *ccDir,
+			Warn: func(msg string) { fmt.Fprintf(os.Stderr, "experiments: %s\n", msg) },
+		}
+	}
+
+	if *warm {
+		// Record every distinct trace of every selected experiment up
+		// front, so even the first figure's sweep starts fully warmed.
+		var cfgs []vdtn.Config
+		for _, e := range todo {
+			cfgs = append(cfgs, vdtn.ExperimentCellConfigs(e, opt)...)
+		}
+		start := time.Now()
+		if err := opt.ContactCache.Prewarm(cfgs, *work); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("prewarmed %d contact traces in %v\n\n",
+			opt.ContactCache.Len(), time.Since(start).Round(time.Millisecond))
+		// Every key the sweeps can touch is now memoized, so the per-run
+		// prewarm pool would only re-fingerprint cells to hit the cache.
+		opt.LazyRecord = true
 	}
 
 	if *outDir != "" {
@@ -81,7 +110,11 @@ func main() {
 
 	for _, e := range todo {
 		start := time.Now()
-		tbl := vdtn.RunExperiment(e, opt)
+		tbl, err := vdtn.RunExperimentE(e, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Println(tbl.Render())
 		fmt.Printf("(%d runs in %v)\n\n",
 			len(e.Scenarios)*len(e.Xs)*len(seedList), time.Since(start).Round(time.Millisecond))

@@ -13,6 +13,18 @@
 //	vdtnsim -record-contacts run.contacts         # capture the contact trace
 //	vdtnsim -replay-contacts run.contacts -ttl 90 # re-run it, bit-identically
 //	vdtnsim -contacts-info run.contacts           # inspect a recorded trace
+//	vdtnsim -record-contacts run.contactsb        # binary trace (CRC-checked)
+//
+// Contact traces exist in two formats: the inspectable text form and the
+// integrity-checked binary codec (magic + CRC32, several times faster to
+// load). Reads sniff the format automatically; -record-contacts writes
+// binary when the path ends in .contactsb (override with
+// -contacts-format). A binary trace damaged anywhere — truncation, bit
+// rot, torn copy — is rejected, never replayed as a shorter run. Text
+// traces are checked via their "end <count>" trailer, which catches
+// mid-line truncation and count mismatches; a file cut exactly at a line
+// boundary is indistinguishable from a pre-v2 legacy trace and loads with
+// a warning, so prefer the binary format when integrity matters.
 package main
 
 import (
@@ -28,7 +40,38 @@ import (
 	"vdtn/internal/stats"
 	"vdtn/internal/trace"
 	"vdtn/internal/units"
+	"vdtn/internal/wireless"
 )
+
+// readRecordingFile loads a contact trace in either format, sniffing by
+// magic. Legacy text files without the end trailer still load, with a
+// warning that their truncation cannot be detected.
+func readRecordingFile(path string) (*vdtn.ContactRecording, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wireless.DecodeRecordingLegacy(data, func(msg string) {
+		fmt.Fprintf(os.Stderr, "vdtnsim: %s: %s\n", path, msg)
+	})
+}
+
+// encodeRecording renders rec for path under the -contacts-format policy:
+// "binary", "text", or "auto" (binary iff path ends in .contactsb).
+func encodeRecording(rec *vdtn.ContactRecording, path, format string) ([]byte, error) {
+	switch format {
+	case "binary":
+	case "text":
+		return []byte(rec.Format()), nil
+	case "auto":
+		if !strings.HasSuffix(path, ".contactsb") {
+			return []byte(rec.Format()), nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown -contacts-format %q (want auto|text|binary)", format)
+	}
+	return vdtn.EncodeContactRecordingBinary(rec), nil
+}
 
 var protocols = map[string]vdtn.ProtocolKind{
 	"epidemic":         vdtn.ProtoEpidemic,
@@ -82,6 +125,7 @@ func main() {
 		warmupMin = flag.Float64("warmup", 0, "exclude messages created before this many minutes")
 		contacts  = flag.String("contacts", "", "contact-plan file (\"start end a b\" lines); replaces mobility")
 		recordTo  = flag.String("record-contacts", "", "run live and write the contact trace to this file for later -replay-contacts")
+		recFmt    = flag.String("contacts-format", "auto", "trace format for -record-contacts: auto (binary iff the path ends in .contactsb), text, or binary")
 		replayOf  = flag.String("replay-contacts", "", "replay a recorded contact trace instead of simulating mobility (scenario flags must match the recording run)")
 		inspect   = flag.String("contacts-info", "", "print a summary of a recorded contact trace and exit")
 		confFile  = flag.String("config", "", "load the scenario from a JSON file (other flags still override)")
@@ -170,12 +214,7 @@ func main() {
 	}
 
 	if *inspect != "" {
-		data, err := os.ReadFile(*inspect)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
-			os.Exit(1)
-		}
-		rec, err := vdtn.ParseContactRecording(string(data))
+		rec, err := readRecordingFile(*inspect)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
 			os.Exit(1)
@@ -202,12 +241,8 @@ func main() {
 		cfg.ContactSource = vdtn.ContactRecord
 		cfg.Recording = recording
 	case *replayOf != "":
-		data, err := os.ReadFile(*replayOf)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
-			os.Exit(1)
-		}
-		recording, err = vdtn.ParseContactRecording(string(data))
+		var err error
+		recording, err = readRecordingFile(*replayOf)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
 			os.Exit(1)
@@ -315,10 +350,16 @@ func main() {
 		fmt.Printf("\ntrace written to %s\n", traceOut.Name())
 	}
 	if *recordTo != "" {
-		if err := os.WriteFile(*recordTo, []byte(recording.Format()), 0o644); err != nil {
+		data, err := encodeRecording(recording, *recordTo, strings.ToLower(*recFmt))
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("contact trace (%d transitions) written to %s\n", len(recording.Transitions), *recordTo)
+		if err := os.WriteFile(*recordTo, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("contact trace (%d transitions, %d bytes) written to %s\n",
+			len(recording.Transitions), len(data), *recordTo)
 	}
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 
 	"vdtn/internal/scenario"
@@ -19,16 +21,32 @@ import (
 //
 // The cache is safe for the runner's worker pool: concurrent requests for
 // the same key block behind a single recording pass; requests for distinct
-// keys record in parallel. With Dir set, recordings are additionally
-// persisted as <fingerprint>.contacts files and reloaded on later runs.
+// keys record in parallel (Prewarm exploits this to front-load all of a
+// sweep's recording passes). With Dir set, recordings are additionally
+// persisted on disk — written as <fingerprint>.contactsb files in the
+// integrity-checked binary codec, read back in either the binary or the
+// legacy <fingerprint>.contacts text format — and reloaded on later runs.
+// A damaged binary file (truncation at any byte, bit rot, torn copy) is
+// detected, reported through Warn, and re-recorded — never silently
+// replayed. Legacy text files carry a weaker guarantee: their "end"
+// trailer catches mid-line cuts and count mismatches, but a file cut
+// exactly at a line boundary is indistinguishable from a pre-v2 trace
+// and loads with a warning, which is why the cache writes binary.
 type ContactCache struct {
 	// Dir, when non-empty, is the on-disk persistence directory. It is
 	// created on first write.
 	Dir string
 
+	// Warn, when non-nil, receives one message per non-fatal cache anomaly:
+	// an unreadable, corrupt, or scenario-mismatched persisted trace, or a
+	// legacy text file whose truncation cannot be detected. Each distinct
+	// anomaly is reported once per cache instance. Nil discards them.
+	Warn func(msg string)
+
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	records uint64 // recording passes actually executed (not served from memory/disk)
+	warned  map[string]bool
 }
 
 type cacheEntry struct {
@@ -57,44 +75,201 @@ func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
 	}
 	cc.mu.Unlock()
 
-	e.once.Do(func() { e.rec, e.err = cc.load(key, cfg) })
+	e.once.Do(func() {
+		// The recover runs inside the once: a panic escaping here would
+		// mark the once done with (nil, nil), handing every later caller a
+		// nil trace with no error.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("experiments: recording %s panicked: %v", key, r)
+			}
+		}()
+		e.rec, e.err = cc.load(key, cfg)
+	})
 	return e.rec, e.err
+}
+
+// contactCanonical keeps exactly the fields the contact process can see —
+// the ones ContactFingerprint hashes — and resets everything else
+// (traffic, routing, buffers, tracing) to the defaults. The recording
+// pass therefore neither depends on nor validates a cell's non-contact
+// configuration: one cell with, say, an invalid TTL must not poison the
+// trace its whole (scenario, seed) group shares.
+func contactCanonical(cfg sim.Config) sim.Config {
+	c := sim.DefaultConfig()
+	c.Seed = cfg.Seed
+	c.Duration = cfg.Duration
+	c.Map = cfg.Map
+	c.Vehicles = cfg.Vehicles
+	c.Relays = cfg.Relays
+	c.SpeedLo, c.SpeedHi = cfg.SpeedLo, cfg.SpeedHi
+	c.PauseLo, c.PauseHi = cfg.PauseLo, cfg.PauseHi
+	c.Range = cfg.Range
+	c.ScanInterval = cfg.ScanInterval
+	return c
+}
+
+// Prewarm runs the recording passes for every distinct contact process in
+// cfgs over its own worker pool, so a sweep's cells find their traces
+// already in memory instead of serializing behind first-touch
+// single-flight. Configurations the cache cannot serve (contact-plan or
+// non-live contact sources) are skipped. workers <= 0 defaults to
+// GOMAXPROCS. The returned error joins every failed recording; a failure
+// is also memoized per key, so later Recording calls for that key report
+// it again with their own context.
+func (cc *ContactCache) Prewarm(cfgs []sim.Config, workers int) error {
+	return cc.prewarm(cfgs, workers, nil)
+}
+
+// prewarm is Prewarm with a stop hook: when stop becomes true, remaining
+// un-started recordings are skipped (the sweep runner stops warming a
+// cache whose sweep has already failed).
+func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool) error {
+	seen := make(map[string]bool)
+	var distinct []sim.Config
+	for _, cfg := range cfgs {
+		if cfg.Plan != nil || cfg.ContactSource != sim.ContactLive {
+			continue
+		}
+		key := scenario.ContactFingerprint(cfg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		distinct = append(distinct, cfg)
+	}
+	if len(distinct) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	errs := make([]error, len(distinct))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if stop != nil && stop() {
+					continue
+				}
+				if _, err := cc.Recording(distinct[i]); err != nil {
+					errs[i] = fmt.Errorf("experiments: prewarm %s: %w",
+						scenario.ContactFingerprint(distinct[i]), err)
+				}
+			}
+		}()
+	}
+	for i := range distinct {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // load fills one cache entry: from disk if persisted, else by running the
 // contacts-only recording pass (and persisting it when Dir is set).
 func (cc *ContactCache) load(key string, cfg sim.Config) (*wireless.Recording, error) {
-	path := ""
+	binPath := ""
 	if cc.Dir != "" {
-		path = filepath.Join(cc.Dir, key+".contacts")
-		if data, err := os.ReadFile(path); err == nil {
-			rec, perr := wireless.ParseRecording(string(data))
-			if perr == nil {
-				return rec, nil
-			}
-			// A corrupt file is not fatal: fall through and re-record.
+		binPath = filepath.Join(cc.Dir, key+".contactsb")
+		if rec := cc.fromDisk(key, cfg, binPath); rec != nil {
+			return rec, nil
 		}
 	}
-	rec, err := sim.RecordContacts(cfg)
+	rec, err := sim.RecordContacts(contactCanonical(cfg))
 	if err != nil {
 		return nil, err
 	}
 	cc.mu.Lock()
 	cc.records++
 	cc.mu.Unlock()
-	if path != "" {
+	if binPath != "" {
 		// Persistence is an optimization: a full disk must not fail a run
 		// that already holds a valid recording, so errors are swallowed.
-		persist(cc.Dir, path, rec.Format())
+		persist(cc.Dir, binPath, wireless.EncodeBinary(rec))
 	}
 	return rec, nil
 }
 
+// fromDisk tries the persisted copies of key: the binary file first, then
+// the legacy text file (which is upgraded to binary on success). nil means
+// a miss — absent, unreadable, damaged, or recorded for a different
+// scenario — and every cause except plain absence is surfaced via Warn.
+// The .contactsb file is decoded strictly (the cache only ever writes
+// binary there, so anything else in it is damage); the trailer-less
+// legacy tolerance applies to .contacts text files alone.
+func (cc *ContactCache) fromDisk(key string, cfg sim.Config, binPath string) *wireless.Recording {
+	if rec := cc.readTrace(key, cfg, binPath, false); rec != nil {
+		return rec
+	}
+	textPath := filepath.Join(cc.Dir, key+".contacts")
+	rec := cc.readTrace(key, cfg, textPath, true)
+	if rec != nil {
+		// Upgrade write-through: later runs take the fast binary path.
+		persist(cc.Dir, binPath, wireless.EncodeBinary(rec))
+	}
+	return rec
+}
+
+// readTrace loads and verifies one persisted trace file, sniffing the
+// format by magic. nil means unusable; only os.IsNotExist stays silent.
+func (cc *ContactCache) readTrace(key string, cfg sim.Config, path string, legacyOK bool) *wireless.Recording {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			cc.warnf("io:"+path, "contact cache: reading %s: %v; re-recording", path, err)
+		}
+		return nil
+	}
+	var rec *wireless.Recording
+	if legacyOK {
+		rec, err = wireless.DecodeRecordingLegacy(data, func(msg string) {
+			cc.warnf("legacy:"+path, "contact cache: %s: %s", path, msg)
+		})
+	} else {
+		rec, err = wireless.DecodeRecording(data)
+	}
+	if err != nil {
+		cc.warnf("corrupt:"+path, "contact cache: rejecting %s: %v; re-recording", path, err)
+		return nil
+	}
+	if err := sim.ReplayCompatible(cfg, rec); err != nil {
+		cc.warnf("mismatch:"+path, "contact cache: %s does not match the scenario: %v; re-recording", path, err)
+		return nil
+	}
+	return rec
+}
+
+// warnf formats and delivers one warning through the hook, at most once
+// per dedup key for the life of the cache.
+func (cc *ContactCache) warnf(dedup, format string, args ...any) {
+	cc.mu.Lock()
+	warn := cc.Warn
+	if warn == nil || cc.warned[dedup] {
+		cc.mu.Unlock()
+		return
+	}
+	if cc.warned == nil {
+		cc.warned = make(map[string]bool)
+	}
+	cc.warned[dedup] = true
+	cc.mu.Unlock()
+	warn(fmt.Sprintf(format, args...))
+}
+
 // persist writes the trace via a temp file and rename, so concurrent
-// processes sharing one cache directory never observe a torn file (any
-// prefix of a trace parses cleanly — a truncated read would silently
-// replay wrong contacts).
-func persist(dir, path, text string) {
+// processes sharing one cache directory never observe a torn file. Even a
+// torn file is harmless — both formats detect truncation (binary count +
+// CRC32 footer, text end trailer) and the reader re-records — but the
+// atomic rename keeps a shared cache directory from wasting those passes.
+func persist(dir, path string, data []byte) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
 	}
@@ -102,7 +277,7 @@ func persist(dir, path, text string) {
 	if err != nil {
 		return
 	}
-	if _, err := tmp.WriteString(text); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return

@@ -1,16 +1,20 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
 	"vdtn/internal/contactplan"
 	"vdtn/internal/roadmap"
+	"vdtn/internal/scenario"
 	"vdtn/internal/sim"
 	"vdtn/internal/units"
+	"vdtn/internal/wireless"
 )
 
 // cacheConfig is the small scenario the cache tests sweep.
@@ -169,7 +173,7 @@ func TestCacheDiskPersistence(t *testing.T) {
 	if first.Recorded() != 1 {
 		t.Fatalf("first cache ran %d recordings, want 1", first.Recorded())
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.contacts"))
+	files, err := filepath.Glob(filepath.Join(dir, "*.contactsb"))
 	if err != nil || len(files) != 1 {
 		t.Fatalf("persisted files = %v (err %v), want exactly one", files, err)
 	}
@@ -219,6 +223,332 @@ func TestCachePersistErrorsAreBestEffort(t *testing.T) {
 	}
 	if len(rec.Transitions) == 0 {
 		t.Fatal("no recording despite best-effort persistence")
+	}
+}
+
+// TestCacheCrossFormatHit: a legacy text-era trace file is served to the
+// binary-era cache without re-recording, upgraded to a binary copy on the
+// way, and a trailer-less pre-v2 file is called out through the warning
+// hook.
+func TestCacheCrossFormatHit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cacheConfig()
+	key := scenario.ContactFingerprint(cfg)
+
+	rec, err := (&ContactCache{}).Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v2 text file (with trailer) on disk, no binary sibling.
+	textPath := filepath.Join(dir, key+".contacts")
+	binPath := filepath.Join(dir, key+".contactsb")
+	if err := os.WriteFile(textPath, []byte(rec.Format()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	cache := &ContactCache{Dir: dir, Warn: func(msg string) { warnings = append(warnings, msg) }}
+	loaded, err := cache.Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Recorded() != 0 {
+		t.Fatal("text-era trace did not serve a binary-era cache")
+	}
+	if !reflect.DeepEqual(rec, loaded) {
+		t.Fatal("text trace loaded differently from the recorded one")
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("trailer-bearing text file warned: %v", warnings)
+	}
+	// The hit must have upgraded the entry to the binary format.
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatalf("no binary upgrade written: %v", err)
+	}
+	upgraded, err := wireless.DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, upgraded) {
+		t.Fatal("binary upgrade changed the recording")
+	}
+
+	// A pre-v2 legacy file (no end trailer) still loads, but warns that
+	// truncation cannot be detected.
+	legacy := strings.Replace(rec.Format(), fmt.Sprintf("end %d\n", len(rec.Transitions)), "", 1)
+	if err := os.WriteFile(textPath, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(binPath); err != nil {
+		t.Fatal(err)
+	}
+	cache = &ContactCache{Dir: dir, Warn: func(msg string) { warnings = append(warnings, msg) }}
+	loaded, err = cache.Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Recorded() != 0 || !reflect.DeepEqual(rec, loaded) {
+		t.Fatal("legacy trailer-less trace not served from disk")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "end trailer") {
+		t.Fatalf("legacy file warnings = %v, want one about the missing end trailer", warnings)
+	}
+}
+
+// TestCacheRejectsTruncatedFiles: a persisted trace cut short — the torn
+// write PR 1's text format could not detect — is rejected and re-recorded
+// in both formats, never replayed as a shorter trace.
+func TestCacheRejectsTruncatedFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cacheConfig()
+	key := scenario.ContactFingerprint(cfg)
+
+	first := &ContactCache{Dir: dir}
+	rec, err := first.Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := filepath.Join(dir, key+".contactsb")
+
+	for name, data := range map[string][]byte{
+		"binary": wireless.EncodeBinary(rec),
+		"text":   []byte(rec.Format()),
+	} {
+		t.Run(name, func(t *testing.T) {
+			// Cut mid-line: a text trace cut exactly on a line boundary is
+			// indistinguishable from a legacy trailer-less file, which the
+			// disk loader tolerates by design (with a warning) — the reason
+			// the persisted format is binary, where every cut is detected.
+			cut := len(data) / 2
+			for cut > 1 && data[cut-1] == '\n' {
+				cut--
+			}
+			if err := os.WriteFile(binPath, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var warnings []string
+			cache := &ContactCache{Dir: dir, Warn: func(msg string) { warnings = append(warnings, msg) }}
+			refreshed, err := cache.Recording(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cache.Recorded() != 1 {
+				t.Fatal("truncated trace was not re-recorded")
+			}
+			if !reflect.DeepEqual(rec.Transitions, refreshed.Transitions) {
+				t.Fatal("re-recorded trace differs from the original")
+			}
+			found := false
+			for _, w := range warnings {
+				found = found || strings.Contains(w, "re-recording")
+			}
+			if !found {
+				t.Fatalf("truncation not surfaced via Warn: %v", warnings)
+			}
+		})
+	}
+}
+
+// TestCacheSurfacesIOErrors: a read failure that is not os.IsNotExist is
+// reported through the warning hook (once) instead of silently
+// re-recording every run.
+func TestCacheSurfacesIOErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cacheConfig()
+	key := scenario.ContactFingerprint(cfg)
+	// A directory where the trace file should be: ReadFile fails with a
+	// real I/O error, not absence.
+	if err := os.MkdirAll(filepath.Join(dir, key+".contactsb"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	cache := &ContactCache{Dir: dir, Warn: func(msg string) { warnings = append(warnings, msg) }}
+	if _, err := cache.Recording(cfg); err != nil {
+		t.Fatalf("I/O error on the persisted copy failed the lookup: %v", err)
+	}
+	if cache.Recorded() != 1 {
+		t.Fatal("unreadable persisted copy was not re-recorded")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "reading") {
+		t.Fatalf("warnings = %v, want exactly one read-error warning", warnings)
+	}
+}
+
+// TestPrewarmRecordsInParallelOnce: Prewarm dedupes by fingerprint, runs
+// one recording pass per distinct (scenario, seed), and leaves the sweep
+// with memory hits only.
+func TestPrewarmRecordsInParallelOnce(t *testing.T) {
+	cache := &ContactCache{}
+	var cfgs []sim.Config
+	for seed := uint64(1); seed <= 3; seed++ {
+		for ttl := 10; ttl <= 20; ttl += 5 { // TTL must not affect the key
+			cfg := cacheConfig()
+			cfg.Seed = seed
+			cfg.TTL = units.Minutes(float64(ttl))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	if err := cache.Prewarm(cfgs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 || cache.Recorded() != 3 {
+		t.Fatalf("prewarm held %d traces over %d passes, want 3 over 3", cache.Len(), cache.Recorded())
+	}
+	// The sweep itself now only hits.
+	tbl, err := RunE(cacheExperiment(), Options{Seeds: []uint64{1, 2, 3}, BaseConfig: cacheConfig, ContactCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(tbl.Series))
+	}
+	if cache.Recorded() != 3 {
+		t.Fatalf("sweep after prewarm ran %d extra recording passes", cache.Recorded()-3)
+	}
+}
+
+// TestPrewarmRace hammers Prewarm from several goroutines racing each
+// other and direct Recording lookups; under -race this is the pre-recording
+// pass's safety test, and single-flight must still hold.
+func TestPrewarmRace(t *testing.T) {
+	cache := &ContactCache{}
+	var cfgs []sim.Config
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		cfgs = append(cfgs, cfg)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cache.Prewarm(cfgs, 4); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := cacheConfig()
+			cfg.Seed = uint64(1 + w)
+			if _, err := cache.Recording(cfg); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cache.Len() != 4 || cache.Recorded() != 4 {
+		t.Fatalf("%d traces over %d passes, want 4 over 4 (single-flight broken)", cache.Len(), cache.Recorded())
+	}
+}
+
+// TestPrewarmSkipsUncacheableConfigs: plan-mode and replay cells cannot be
+// prewarmed and must be skipped, not failed.
+func TestPrewarmSkipsUncacheableConfigs(t *testing.T) {
+	plan, err := contactplan.New([]contactplan.Contact{{A: 0, B: 1, Start: 0, End: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planCfg := cacheConfig()
+	planCfg.Plan = plan
+	cache := &ContactCache{}
+	if err := cache.Prewarm([]sim.Config{planCfg}, 2); err != nil {
+		t.Fatalf("plan-mode config failed Prewarm: %v", err)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("plan-mode config was prewarmed")
+	}
+}
+
+// TestRunEReportsCellCoordinates: one bad cell must not kill the process;
+// RunE names its (series, x, seed) coordinates, and the Run wrapper turns
+// that into a panic for legacy callers.
+func TestRunEReportsCellCoordinates(t *testing.T) {
+	exp := cacheExperiment()
+	// x=15 produces an invalid config; the other cells stay healthy.
+	exp.Apply = func(c *sim.Config, x float64) {
+		if x == 15 {
+			c.TTL = -1
+		} else {
+			c.TTL = units.Minutes(x)
+		}
+	}
+	for name, cache := range map[string]*ContactCache{"plain": nil, "cached": {}} {
+		t.Run(name, func(t *testing.T) {
+			_, err := RunE(exp, Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig, ContactCache: cache})
+			if err == nil {
+				t.Fatal("invalid cell did not fail the run")
+			}
+			// Every invalid cell sits at x=15; which series/seed loses the
+			// race to fail first is scheduling-dependent, but the error
+			// must carry all three coordinates.
+			for _, want := range []string{`series "`, "x=15", "seed "} {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not name %q", err, want)
+				}
+			}
+		})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not panic on a cell error")
+		}
+	}()
+	Run(exp, Options{Seeds: []uint64{1}, BaseConfig: cacheConfig})
+}
+
+// TestRunELazyMatchesPrewarmed: the pre-recording pass is a scheduling
+// change only — the lazy table is bit-identical.
+func TestRunELazyMatchesPrewarmed(t *testing.T) {
+	exp := cacheExperiment()
+	base := Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig}
+
+	lazy := base
+	lazy.ContactCache = &ContactCache{}
+	lazy.LazyRecord = true
+	lazyTbl, err := RunE(exp, lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := base
+	warm.ContactCache = &ContactCache{}
+	warmTbl, err := RunE(exp, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lazyTbl.Series, warmTbl.Series) {
+		t.Fatal("prewarmed table diverged from the lazy one")
+	}
+	if lazy.ContactCache.Recorded() != warm.ContactCache.Recorded() {
+		t.Fatalf("recording passes differ: lazy %d, prewarmed %d",
+			lazy.ContactCache.Recorded(), warm.ContactCache.Recorded())
+	}
+}
+
+// TestCellConfigs: the materialized cell list covers every (series, x,
+// seed) combination in aggregation order.
+func TestCellConfigs(t *testing.T) {
+	exp := cacheExperiment()
+	cfgs := CellConfigs(exp, Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig})
+	if want := len(exp.Scenarios) * len(exp.Xs) * 2; len(cfgs) != want {
+		t.Fatalf("CellConfigs returned %d configs, want %d", len(cfgs), want)
+	}
+	if cfgs[0].Seed != 1 || cfgs[1].Seed != 2 {
+		t.Fatal("seed ordering wrong")
+	}
+	if cfgs[0].TTL != units.Minutes(10) {
+		t.Fatalf("x value not applied: TTL = %v", cfgs[0].TTL)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"vdtn/internal/sim"
 	"vdtn/internal/stats"
@@ -114,6 +115,14 @@ type Options struct {
 	// cell. Results are bit-identical to uncached runs. The cache may be
 	// shared across experiments and is safe for concurrent use.
 	ContactCache *ContactCache
+
+	// LazyRecord disables the concurrent pre-recording pool the runner
+	// starts when ContactCache is set (ContactCache.Prewarm): recordings
+	// then happen only on first touch inside the cell workers, where cells
+	// sharing a trace serialize behind its single-flight recording.
+	// Results are identical either way; only the wall clock moves. Mainly
+	// for benchmarking the two schedules against each other.
+	LazyRecord bool
 }
 
 func (o Options) normalized() Options {
@@ -151,15 +160,15 @@ type Table struct {
 	Series     []Series
 }
 
-// Run executes the experiment under opt and aggregates the results.
-func Run(exp Experiment, opt Options) Table {
-	opt = opt.normalized()
+// job identifies one (series, x, seed) cell of a sweep.
+type job struct {
+	scenario int
+	xi       int
+	seed     uint64
+}
 
-	type job struct {
-		scenario int
-		xi       int
-		seed     uint64
-	}
+// cellJobs enumerates every cell of the sweep in aggregation order.
+func cellJobs(exp Experiment, opt Options) []job {
 	var jobs []job
 	for si := range exp.Scenarios {
 		for xi := range exp.Xs {
@@ -168,7 +177,129 @@ func Run(exp Experiment, opt Options) Table {
 			}
 		}
 	}
+	return jobs
+}
+
+// cellConfig materializes one cell's full configuration: base template,
+// scale, series protocol/policy, seed, then the x value and the series
+// mutation.
+func cellConfig(exp Experiment, opt Options, j job) sim.Config {
+	cfg := opt.BaseConfig()
+	cfg.Duration *= opt.Scale
+	if cfg.MessageGenEnd > 0 {
+		cfg.MessageGenEnd *= opt.Scale
+	}
+	sc := exp.Scenarios[j.scenario]
+	cfg.Protocol = sc.Protocol
+	cfg.Policy = sc.Policy
+	cfg.Seed = j.seed
+	exp.Apply(&cfg, exp.Xs[j.xi])
+	if sc.Mutate != nil {
+		sc.Mutate(&cfg)
+	}
+	return cfg
+}
+
+// cellErrorf wraps a cell failure with its (series, x, seed) coordinates,
+// so one bad cell out of hundreds is findable.
+func cellErrorf(exp Experiment, j job, err error) error {
+	return fmt.Errorf("experiments: %s cell (series %q, x=%v, seed %d): %w",
+		exp.ID, exp.Scenarios[j.scenario].Name, exp.Xs[j.xi], j.seed, err)
+}
+
+// runCell executes one (series, x, seed) cell. Panics out of the
+// simulation stack are converted into errors, so a worker goroutine never
+// kills the whole sweep — the cell is reported with its coordinates by
+// RunE instead.
+func runCell(exp Experiment, opt Options, j job) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	cfg := cellConfig(exp, opt, j)
+	// The fingerprint is taken after Apply/Mutate, so sweeps that move
+	// mobility inputs (fleet size, map) key their cells correctly and only
+	// contact-identical cells share a trace.
+	if opt.ContactCache != nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
+		rec, rerr := opt.ContactCache.Recording(cfg)
+		if rerr != nil {
+			return 0, rerr
+		}
+		cfg.ContactSource = sim.ContactReplay
+		cfg.Recording = rec
+	}
+	w, nerr := sim.New(cfg)
+	if nerr != nil {
+		return 0, nerr
+	}
+	return exp.Metric.value(w.Run()), nil
+}
+
+// CellConfigs returns the fully materialized configuration of every
+// (series, x, seed) cell of the sweep, in aggregation order — what
+// ContactCache.Prewarm wants when pre-recording traces across several
+// experiments before any of them runs.
+func CellConfigs(exp Experiment, opt Options) []sim.Config {
+	opt = opt.normalized()
+	jobs := cellJobs(exp, opt)
+	cfgs := make([]sim.Config, len(jobs))
+	for i, j := range jobs {
+		cfgs[i] = cellConfig(exp, opt, j)
+	}
+	return cfgs
+}
+
+// Run executes the experiment under opt and aggregates the results. It is
+// a thin wrapper over RunE that panics on a cell error; call RunE to
+// handle failures (a bad map, an invalid swept value, an unusable cache
+// entry) without killing the process.
+func Run(exp Experiment, opt Options) Table {
+	t, err := RunE(exp, opt)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// RunE executes the experiment under opt and aggregates the results. Cells
+// run on a worker pool; the first failing cell (in aggregation order)
+// aborts the table and is reported with its (series, x, seed) coordinates.
+// When opt.ContactCache is set, the distinct contact traces the sweep
+// needs are recorded by a parallel prewarm pool running alongside the
+// cell workers (see Options.LazyRecord to disable).
+func RunE(exp Experiment, opt Options) (Table, error) {
+	opt = opt.normalized()
+	jobs := cellJobs(exp, opt)
+
+	// Warm the cache concurrently with cell execution: the prewarm pool
+	// records distinct (scenario, seed) traces the cell workers have not
+	// reached yet, so recordings run in parallel instead of serializing
+	// behind first-touch single-flight — without a barrier that would keep
+	// early cells from overlapping the remaining recording passes.
+	// Prewarm failures are deliberately dropped: the cache memoizes each
+	// key's error, so the failing cell reports it below with its
+	// (series, x, seed) coordinates instead of a bare fingerprint. The
+	// failed flag doubles as the pool's stop signal, so a dead sweep does
+	// not keep recording traces nobody will use.
+	var failed atomic.Bool
+	var prewarmed chan struct{}
+	if opt.ContactCache != nil && !opt.LazyRecord {
+		var cfgs []sim.Config
+		for _, j := range jobs {
+			if cfg := cellConfig(exp, opt, j); cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		prewarmed = make(chan struct{})
+		go func() {
+			defer close(prewarmed)
+			_ = opt.ContactCache.prewarm(cfgs, opt.Workers, failed.Load)
+		}()
+	}
+
 	results := make([]float64, len(jobs))
+	errs := make([]error, len(jobs))
 
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -177,39 +308,20 @@ func Run(exp Experiment, opt Options) Table {
 		go func() {
 			defer wg.Done()
 			for ji := range next {
+				// After the first failure the table is dead either way, so
+				// remaining cells are drained, not simulated — a bad first
+				// cell must not cost the whole sweep's wall clock.
+				if failed.Load() {
+					continue
+				}
 				j := jobs[ji]
-				cfg := opt.BaseConfig()
-				cfg.Duration *= opt.Scale
-				if cfg.MessageGenEnd > 0 {
-					cfg.MessageGenEnd *= opt.Scale
-				}
-				sc := exp.Scenarios[j.scenario]
-				cfg.Protocol = sc.Protocol
-				cfg.Policy = sc.Policy
-				cfg.Seed = j.seed
-				exp.Apply(&cfg, exp.Xs[j.xi])
-				if sc.Mutate != nil {
-					sc.Mutate(&cfg)
-				}
-				// The fingerprint is taken after Apply/Mutate, so sweeps
-				// that move mobility inputs (fleet size, map) key their
-				// cells correctly and only contact-identical cells share
-				// a trace.
-				if opt.ContactCache != nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
-					rec, err := opt.ContactCache.Recording(cfg)
-					if err != nil {
-						panic(fmt.Sprintf("experiments: %s cell (%s, x=%v): %v",
-							exp.ID, sc.Name, exp.Xs[j.xi], err))
-					}
-					cfg.ContactSource = sim.ContactReplay
-					cfg.Recording = rec
-				}
-				w, err := sim.New(cfg)
+				v, err := runCell(exp, opt, j)
 				if err != nil {
-					panic(fmt.Sprintf("experiments: %s cell (%s, x=%v): %v",
-						exp.ID, sc.Name, exp.Xs[j.xi], err))
+					errs[ji] = cellErrorf(exp, j, err)
+					failed.Store(true)
+					continue
 				}
-				results[ji] = exp.Metric.value(w.Run())
+				results[ji] = v
 			}
 		}()
 	}
@@ -218,6 +330,19 @@ func Run(exp Experiment, opt Options) Table {
 	}
 	close(next)
 	wg.Wait()
+	if prewarmed != nil {
+		// On success every key is memoized and the pool finishes
+		// immediately; on failure the failed flag makes it skip whatever it
+		// had not started. Either way the wait only keeps its goroutines
+		// from outliving the run.
+		<-prewarmed
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return Table{}, err
+		}
+	}
 
 	// Aggregate deterministically.
 	t := Table{Experiment: exp, Options: opt}
@@ -233,7 +358,7 @@ func Run(exp Experiment, opt Options) Table {
 		}
 		t.Series = append(t.Series, s)
 	}
-	return t
+	return t, nil
 }
 
 // Render returns an aligned text table: one row per x value, one column

@@ -20,6 +20,19 @@ func TestContactFingerprintStable(t *testing.T) {
 	}
 }
 
+// TestContactFingerprintPinned pins the exact fingerprint of the paper's
+// default scenario. Persisted cache files are named by this value, so a
+// silent change to the hash — reordered fields, a new input, a schema bump
+// without a migration plan — would orphan every trace ever written to a
+// cache directory. Changing this constant is allowed, but must be a
+// deliberate decision that accepts the cache invalidation.
+func TestContactFingerprintPinned(t *testing.T) {
+	if fp := ContactFingerprint(sim.DefaultConfig()); fp != "7738a602549c75fc" {
+		t.Fatalf("default-scenario fingerprint moved to %s: every persisted cache file is now orphaned; "+
+			"if the hash change is intentional, update this pin", fp)
+	}
+}
+
 // TestContactFingerprintSeparates is the cache-keying property test: every
 // mutation of a contact-process input — including each seed in a sweep —
 // must move the key, so cache hits can never cross seeds or scenarios.

@@ -331,23 +331,8 @@ func (c Config) Validate() error {
 			return fmt.Errorf("sim: contact source %v is exclusive with a contact plan", c.ContactSource)
 		}
 		if c.ContactSource == ContactReplay {
-			if err := c.Recording.Validate(); err != nil {
+			if err := ReplayCompatible(c, c.Recording); err != nil {
 				return err
-			}
-			if c.Recording.ScanInterval != c.ScanInterval {
-				return fmt.Errorf("sim: recording scan interval %v, scenario %v",
-					c.Recording.ScanInterval, c.ScanInterval)
-			}
-			// A shorter horizon replays a prefix of the trace and stays
-			// bit-identical to a live run of that horizon; a longer one
-			// would freeze contacts in their final recorded state.
-			if c.Duration > c.Recording.Duration {
-				return fmt.Errorf("sim: run duration %v exceeds the recording's %v",
-					c.Duration, c.Recording.Duration)
-			}
-			if c.Recording.MaxNode() >= c.Vehicles+c.Relays {
-				return fmt.Errorf("sim: recording references node %d, scenario has %d nodes",
-					c.Recording.MaxNode(), c.Vehicles+c.Relays)
 			}
 		}
 	default:

@@ -86,6 +86,33 @@ func RecordContacts(cfg Config) (*wireless.Recording, error) {
 	return rec, nil
 }
 
+// ReplayCompatible reports whether rec can drive cfg's contact process:
+// the trace must be structurally valid, recorded at cfg's scan interval,
+// cover at least cfg's horizon, and reference only nodes the scenario has.
+// Config.Validate applies the same checks in replay mode; the experiment
+// harness's contact cache applies them to disk-loaded traces before
+// serving them, so a stale or misfiled cache entry re-records instead of
+// failing every cell that touches it.
+func ReplayCompatible(cfg Config, rec *wireless.Recording) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	if rec.ScanInterval != cfg.ScanInterval {
+		return fmt.Errorf("sim: recording scan interval %v, scenario %v", rec.ScanInterval, cfg.ScanInterval)
+	}
+	// A shorter horizon replays a prefix of the trace and stays
+	// bit-identical to a live run of that horizon; a longer one would
+	// freeze contacts in their final recorded state.
+	if cfg.Duration > rec.Duration {
+		return fmt.Errorf("sim: run duration %v exceeds the recording's %v", cfg.Duration, rec.Duration)
+	}
+	if rec.MaxNode() >= cfg.Vehicles+cfg.Relays {
+		return fmt.Errorf("sim: recording references node %d, scenario has %d nodes",
+			rec.MaxNode(), cfg.Vehicles+cfg.Relays)
+	}
+	return nil
+}
+
 // RecordingPlan converts a recording into a contact plan, for export to
 // the plan text format or scenario JSON. Contacts still open at the end of
 // the trace are closed at its duration, so a plan-driven re-run is close

@@ -1,0 +1,182 @@
+// Binary contact-trace codec (v2 of the on-disk trace formats; the
+// line-oriented text form in recording.go is v1). The experiment harness
+// persists one trace per (scenario, seed) fingerprint; on large fleets the
+// text format's float formatting and parsing dominate cache-dir load time,
+// so the persisted form is binary and the text form is kept for
+// inspection and back-compat.
+//
+// Layout (all fixed-width integers little-endian):
+//
+//	magic    "VDTNCB"                        6 bytes
+//	version  uint16 (= 2)                    2 bytes
+//	scan     float64 bits                    8 bytes
+//	duration float64 bits                    8 bytes
+//	stream   one entry per transition:
+//	           flags    byte (bit0 = up)
+//	           time     varint delta of the float64 bit pattern
+//	                    vs the previous transition (0 for same-tick)
+//	           nodeA    uvarint
+//	           nodeB    uvarint gap (B - A - 1; B > A always)
+//	footer   transition count uint64         8 bytes
+//	         CRC32 (IEEE) of all prior bytes 4 bytes
+//
+// The footer makes damage detectable instead of silently replayable: a
+// truncated file fails the CRC (and the count no longer matches the
+// decoded stream), and any bit flip fails the CRC. The varint time deltas
+// are lossless — bit patterns, not values, are delta-coded — so for any
+// recording that passes Validate, DecodeBinary(EncodeBinary(r)) reproduces
+// r exactly, including times that have no short decimal form.
+package wireless
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	binaryMagic   = "VDTNCB"
+	binaryVersion = 2
+
+	binaryHeaderLen = len(binaryMagic) + 2 + 8 + 8
+	binaryFooterLen = 8 + 4
+)
+
+// maxBinaryNode bounds decoded node ids so that A + gap + 1 can never
+// overflow the platform's int — every id the rest of the system can
+// represent (and that EncodeBinary therefore emits for a Validate-clean
+// recording) decodes back, keeping the round trip exact.
+const maxBinaryNode = math.MaxInt / 2
+
+// IsBinaryRecording reports whether data starts with the binary codec's
+// magic — the sniff DecodeRecording and the contact cache use to pick a
+// decoder. Text traces start with '#' or a directive line, never the magic.
+func IsBinaryRecording(data []byte) bool {
+	return len(data) >= len(binaryMagic) && string(data[:len(binaryMagic)]) == binaryMagic
+}
+
+// EncodeBinary renders the recording in the binary codec. The encoding is
+// deterministic: equal recordings produce equal bytes.
+func EncodeBinary(r *Recording) []byte {
+	buf := make([]byte, 0, binaryHeaderLen+6*len(r.Transitions)+binaryFooterLen)
+	buf = append(buf, binaryMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, binaryVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.ScanInterval))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Duration))
+	prev := uint64(0)
+	for _, tr := range r.Transitions {
+		var flags byte
+		if tr.Up {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		bits := math.Float64bits(tr.Time)
+		buf = binary.AppendVarint(buf, int64(bits-prev)) // wrapping delta; decode wraps back
+		prev = bits
+		buf = binary.AppendUvarint(buf, uint64(tr.A))
+		buf = binary.AppendUvarint(buf, uint64(tr.B-tr.A-1))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(r.Transitions)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// DecodeBinary reads the binary codec back into a validated Recording.
+// Integrity is checked before the stream is trusted: a short read, torn
+// write or bit flip fails the CRC or the transition count and is reported
+// as an error — never decoded as a plausible shorter trace.
+func DecodeBinary(data []byte) (*Recording, error) {
+	if !IsBinaryRecording(data) {
+		return nil, fmt.Errorf("wireless: not a binary contact recording (bad magic)")
+	}
+	if len(data) < binaryHeaderLen+binaryFooterLen {
+		return nil, fmt.Errorf("wireless: binary recording truncated: %d bytes, header and footer need %d",
+			len(data), binaryHeaderLen+binaryFooterLen)
+	}
+	crcOff := len(data) - 4
+	if want, got := binary.LittleEndian.Uint32(data[crcOff:]), crc32.ChecksumIEEE(data[:crcOff]); want != got {
+		return nil, fmt.Errorf("wireless: binary recording CRC mismatch (stored %08x, computed %08x): truncated or corrupt", want, got)
+	}
+	countOff := crcOff - 8
+	count := binary.LittleEndian.Uint64(data[countOff:crcOff])
+
+	p := data[len(binaryMagic):countOff]
+	version := binary.LittleEndian.Uint16(p)
+	p = p[2:]
+	if version != binaryVersion {
+		return nil, fmt.Errorf("wireless: binary recording version %d, this codec reads %d", version, binaryVersion)
+	}
+	rec := &Recording{
+		ScanInterval: math.Float64frombits(binary.LittleEndian.Uint64(p)),
+		Duration:     math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+	}
+	p = p[16:]
+
+	if count > uint64(len(p)) { // a transition occupies at least one byte; cheap sanity bound
+		return nil, fmt.Errorf("wireless: binary recording declares %d transitions in a %d-byte stream", count, len(p))
+	}
+	if count > 0 { // keep Transitions nil for empty traces (round-trip exactness)
+		rec.Transitions = make([]Transition, 0, count)
+	}
+	bits := uint64(0)
+	for len(p) > 0 {
+		flags := p[0]
+		if flags > 1 {
+			return nil, fmt.Errorf("wireless: binary recording transition %d has unknown flags %#x", len(rec.Transitions), flags)
+		}
+		p = p[1:]
+		delta, n := binary.Varint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("wireless: binary recording transition %d has a bad time delta", len(rec.Transitions))
+		}
+		p = p[n:]
+		bits += uint64(delta)
+		a, n := binary.Uvarint(p)
+		if n <= 0 || a >= maxBinaryNode {
+			return nil, fmt.Errorf("wireless: binary recording transition %d has a bad node id", len(rec.Transitions))
+		}
+		p = p[n:]
+		gap, n := binary.Uvarint(p)
+		if n <= 0 || gap >= maxBinaryNode {
+			return nil, fmt.Errorf("wireless: binary recording transition %d has a bad pair gap", len(rec.Transitions))
+		}
+		p = p[n:]
+		rec.Transitions = append(rec.Transitions, Transition{
+			Time: math.Float64frombits(bits),
+			A:    int(a),
+			B:    int(a + gap + 1),
+			Up:   flags == 1,
+		})
+	}
+	if uint64(len(rec.Transitions)) != count {
+		return nil, fmt.Errorf("wireless: binary recording truncated: footer declares %d transitions, stream held %d",
+			count, len(rec.Transitions))
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, fmt.Errorf("wireless: binary recording invalid: %w", err)
+	}
+	return rec, nil
+}
+
+// DecodeRecording decodes a persisted contact trace in either format,
+// sniffing by magic: the binary codec when present, otherwise the strict
+// text form (end trailer required; see DecodeRecordingLegacy for
+// pre-trailer files).
+func DecodeRecording(data []byte) (*Recording, error) {
+	if IsBinaryRecording(data) {
+		return DecodeBinary(data)
+	}
+	return ParseRecording(string(data))
+}
+
+// DecodeRecordingLegacy decodes like DecodeRecording but tolerates text
+// traces without the end trailer (pre-v2 files), reporting the lost
+// truncation detection through warn — the one policy shared by every
+// disk-loading consumer (the contact cache, the CLIs).
+func DecodeRecordingLegacy(data []byte, warn func(msg string)) (*Recording, error) {
+	if IsBinaryRecording(data) {
+		return DecodeBinary(data)
+	}
+	return ParseRecordingLegacy(string(data), warn)
+}

@@ -203,6 +203,38 @@ func TestParseRecordingRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestValidateHugeNodeIDs: absurd node ids from corrupt text input must
+// not panic the dense pair-state bitmap (stride*stride overflows for ids
+// near 2^32 and 3037000500); Validate falls back to the map and treats
+// them as structurally acceptable, and both codecs round-trip them.
+func TestValidateHugeNodeIDs(t *testing.T) {
+	for _, b64 := range []int64{4294967295, 3037000500, 1 << 40} {
+		b := int(b64)
+		if int64(b) != b64 {
+			continue // id does not fit this platform's int
+		}
+		rec := &Recording{ScanInterval: 1, Duration: 10,
+			Transitions: []Transition{{Time: 1, A: 0, B: b, Up: true}}}
+		if err := rec.Validate(); err != nil {
+			t.Fatalf("id %d: structurally valid trace rejected: %v", b, err)
+		}
+		parsed, err := ParseRecording(rec.Format())
+		if err != nil {
+			t.Fatalf("id %d: %v", b, err)
+		}
+		if parsed.MaxNode() != b {
+			t.Fatalf("id %d text round-tripped as %d", b, parsed.MaxNode())
+		}
+		decoded, err := DecodeBinary(EncodeBinary(rec))
+		if err != nil {
+			t.Fatalf("id %d: %v", b, err)
+		}
+		if decoded.MaxNode() != b {
+			t.Fatalf("id %d binary round-tripped as %d", b, decoded.MaxNode())
+		}
+	}
+}
+
 func TestRecordingWindows(t *testing.T) {
 	rec := &Recording{
 		ScanInterval: 1,

@@ -213,9 +213,35 @@ const (
 func RecordContacts(cfg Config) (*ContactRecording, error) { return sim.RecordContacts(cfg) }
 
 // ParseContactRecording reads the text form written by
-// ContactRecording.Format.
+// ContactRecording.Format. The "end <count>" trailer is required so a
+// truncated file is detected; use DecodeContactRecordingLegacy for files
+// written before the trailer existed.
 func ParseContactRecording(text string) (*ContactRecording, error) {
 	return wireless.ParseRecording(text)
+}
+
+// EncodeContactRecordingBinary renders rec in the integrity-checked binary
+// codec (magic + version header, varint-delta transition stream, count and
+// CRC32 footer) — the format the contact cache persists, several times
+// faster to load than the text form.
+func EncodeContactRecordingBinary(rec *ContactRecording) []byte {
+	return wireless.EncodeBinary(rec)
+}
+
+// DecodeContactRecording reads a persisted contact trace in either the
+// binary or the text format, sniffing by magic. Truncated or corrupt data
+// in either format is reported as an error, never decoded as a shorter
+// trace.
+func DecodeContactRecording(data []byte) (*ContactRecording, error) {
+	return wireless.DecodeRecording(data)
+}
+
+// DecodeContactRecordingLegacy decodes like DecodeContactRecording but
+// tolerates text traces written before the "end <count>" trailer existed;
+// warn (if non-nil) is told that such a file's truncation cannot be
+// detected.
+func DecodeContactRecordingLegacy(data []byte, warn func(msg string)) (*ContactRecording, error) {
+	return wireless.DecodeRecordingLegacy(data, warn)
 }
 
 // RecordingPlan converts a recording into a contact plan (open contacts
@@ -293,7 +319,23 @@ func Experiments() []Experiment { return experiments.Catalog() }
 // "ablation-rate", ...).
 func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
 
-// RunExperiment executes an experiment and aggregates its table.
+// RunExperiment executes an experiment and aggregates its table. It
+// panics on a cell error; use RunExperimentE to handle failures.
 func RunExperiment(e Experiment, opt ExperimentOptions) ExperimentTable {
 	return experiments.Run(e, opt)
+}
+
+// RunExperimentE executes an experiment and aggregates its table,
+// reporting the first failing cell — with its (series, x, seed)
+// coordinates — as an error instead of panicking.
+func RunExperimentE(e Experiment, opt ExperimentOptions) (ExperimentTable, error) {
+	return experiments.RunE(e, opt)
+}
+
+// ExperimentCellConfigs returns the fully materialized configuration of
+// every (series, x, seed) cell of the sweep — the input
+// ContactCache.Prewarm wants when pre-recording contact traces across
+// several experiments before any of them runs.
+func ExperimentCellConfigs(e Experiment, opt ExperimentOptions) []Config {
+	return experiments.CellConfigs(e, opt)
 }
