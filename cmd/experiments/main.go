@@ -10,17 +10,24 @@
 //	experiments -figure all -contact-cache      # one mobility sim per seed
 //	experiments -cache-dir traces/ -seeds 5     # persist traces across runs
 //	experiments -figure all -prewarm -seeds 5   # record all traces up front
+//	experiments -cache-dir traces/ -cache-mmap  # zero-copy mapped replay
+//	experiments -cache-dir traces/ -cache-max-mb 256  # LRU-bounded store
 //
 // Tables print to stdout; -out additionally writes one CSV per experiment.
 // -contact-cache records each distinct (scenario, seed) mobility process
 // once and replays it for every series and x cell that shares it — results
 // are bit-identical to uncached runs, several times faster on multi-cell
 // sweeps. -cache-dir additionally persists the traces on disk in the
-// integrity-checked binary format (and implies -contact-cache); legacy
-// text traces are still read and upgraded in place. -prewarm records the
-// traces of every selected experiment in parallel before the first sweep
-// starts, instead of on first touch inside it. A failing cell exits
-// non-zero naming its (series, x, seed) coordinates.
+// integrity-checked binary format (and implies -contact-cache), laid out
+// as a 2-level sharded directory fronted by an index file; legacy
+// flat-dir and text traces are migrated transparently (or all at once via
+// -migrate-cache). -cache-mmap replays persisted traces through read-only
+// memory-mapped views — concurrent processes share one page-cached copy
+// of each trace, and cells replay with no per-cell trace allocation.
+// -cache-max-mb bounds the store, evicting least-recently-used traces.
+// -prewarm records the traces of every selected experiment in parallel
+// before the first sweep starts, instead of on first touch inside it. A
+// failing cell exits non-zero naming its (series, x, seed) coordinates.
 package main
 
 import (
@@ -45,6 +52,9 @@ func main() {
 		ccDir  = flag.String("cache-dir", "", "persist recorded contact traces in this directory (implies -contact-cache)")
 		warm   = flag.Bool("prewarm", false, "pre-record all contact traces across the selected experiments before the first sweep (implies -contact-cache)")
 		lazy   = flag.Bool("lazy-record", false, "record contact traces on first touch inside the sweep instead of the parallel pre-recording pass")
+		ccMmap = flag.Bool("cache-mmap", false, "replay persisted traces through zero-copy memory-mapped views instead of decoding them (implies -contact-cache; needs -cache-dir)")
+		ccMax  = flag.Float64("cache-max-mb", 0, "bound the persisted cache directory to this many MB, evicting least-recently-used traces (0 = unbounded)")
+		ccMig  = flag.Bool("migrate-cache", false, "upgrade a legacy flat cache directory to the sharded layout up front (per-trace migration otherwise happens lazily on first touch)")
 	)
 	flag.Parse()
 
@@ -73,13 +83,33 @@ func main() {
 		seedList[i] = uint64(i + 1)
 	}
 	opt := vdtn.ExperimentOptions{Seeds: seedList, Scale: *scale, Workers: *work, LazyRecord: *lazy}
-	if *useCC || *ccDir != "" || *warm {
+	if *useCC || *ccDir != "" || *warm || *ccMmap || *ccMig {
+		if *ccMmap && *ccDir == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -cache-mmap needs -cache-dir (views map persisted traces)")
+			os.Exit(2)
+		}
+		if *ccMig && *ccDir == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -migrate-cache needs -cache-dir (nothing to migrate without a store)")
+			os.Exit(2)
+		}
 		// One cache across all figures: they sweep the same scenarios, so
 		// later figures replay the traces the first one recorded.
 		opt.ContactCache = &vdtn.ContactCache{
-			Dir:  *ccDir,
-			Warn: func(msg string) { fmt.Fprintf(os.Stderr, "experiments: %s\n", msg) },
+			Dir:      *ccDir,
+			Mmap:     *ccMmap,
+			MaxBytes: int64(*ccMax * 1e6),
+			Warn:     func(msg string) { fmt.Fprintf(os.Stderr, "experiments: %s\n", msg) },
 		}
+		defer opt.ContactCache.Close()
+	}
+
+	if *ccMig {
+		moved, err := opt.ContactCache.MigrateDir()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: cache migration: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("migrated %d legacy traces into the sharded cache layout\n", moved)
 	}
 
 	if *warm {

@@ -14,6 +14,7 @@
 //	vdtnsim -replay-contacts run.contacts -ttl 90 # re-run it, bit-identically
 //	vdtnsim -contacts-info run.contacts           # inspect a recorded trace
 //	vdtnsim -record-contacts run.contactsb        # binary trace (CRC-checked)
+//	vdtnsim -replay-contacts run.contactsb -mmap  # zero-copy mapped replay
 //
 // Contact traces exist in two formats: the inspectable text form and the
 // integrity-checked binary codec (magic + CRC32, several times faster to
@@ -127,6 +128,7 @@ func main() {
 		recordTo  = flag.String("record-contacts", "", "run live and write the contact trace to this file for later -replay-contacts")
 		recFmt    = flag.String("contacts-format", "auto", "trace format for -record-contacts: auto (binary iff the path ends in .contactsb), text, or binary")
 		replayOf  = flag.String("replay-contacts", "", "replay a recorded contact trace instead of simulating mobility (scenario flags must match the recording run)")
+		mmapTrace = flag.Bool("mmap", false, "with -replay-contacts and a binary trace: replay a zero-copy memory-mapped view instead of decoding the trace into memory")
 		inspect   = flag.String("contacts-info", "", "print a summary of a recorded contact trace and exit")
 		confFile  = flag.String("config", "", "load the scenario from a JSON file (other flags still override)")
 		dumpConf  = flag.Bool("dump-config", false, "print the effective scenario as JSON and exit")
@@ -240,6 +242,21 @@ func main() {
 		recording = &vdtn.ContactRecording{}
 		cfg.ContactSource = vdtn.ContactRecord
 		cfg.Recording = recording
+	case *replayOf != "" && *mmapTrace:
+		view, err := vdtn.OpenContactRecordingView(*replayOf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vdtnsim: %v (only binary .contactsb traces can be mapped; drop -mmap for text)\n", err)
+			os.Exit(1)
+		}
+		defer view.Close()
+		cfg.ContactSource = vdtn.ContactReplay
+		cfg.ReplaySource = view
+		// Follow the trace's horizon unless the user chose one — via the
+		// -duration flag or a -config file (a chosen duration may shorten
+		// the replay, never extend it).
+		if !set["duration"] && *confFile == "" {
+			cfg.Duration = view.Meta().Duration
+		}
 	case *replayOf != "":
 		var err error
 		recording, err = readRecordingFile(*replayOf)

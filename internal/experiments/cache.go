@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -23,28 +22,49 @@ import (
 // the same key block behind a single recording pass; requests for distinct
 // keys record in parallel (Prewarm exploits this to front-load all of a
 // sweep's recording passes). With Dir set, recordings are additionally
-// persisted on disk — written as <fingerprint>.contactsb files in the
-// integrity-checked binary codec, read back in either the binary or the
-// legacy <fingerprint>.contacts text format — and reloaded on later runs.
-// A damaged binary file (truncation at any byte, bit rot, torn copy) is
-// detected, reported through Warn, and re-recorded — never silently
-// replayed. Legacy text files carry a weaker guarantee: their "end"
-// trailer catches mid-line cuts and count mismatches, but a file cut
-// exactly at a line boundary is indistinguishable from a pre-v2 trace
-// and loads with a warning, which is why the cache writes binary.
+// persisted on disk in a sharded layout (see traceStore: 2-level fan-out
+// directories fronted by an index file, with transparent migration of
+// legacy flat-dir and text traces) and reloaded on later runs. A damaged
+// binary file (truncation at any byte, bit rot, torn copy) is detected,
+// reported through Warn, and re-recorded — never silently replayed.
+// Legacy text files carry a weaker guarantee: their "end" trailer catches
+// mid-line cuts and count mismatches, but a file cut exactly at a line
+// boundary is indistinguishable from a pre-v2 trace and loads with a
+// warning, which is why the cache writes binary.
+//
+// With Mmap also set, Source serves persisted traces as read-only
+// memory-mapped wireless.RecordingView values instead of decoding them:
+// the transition stream stays in the kernel page cache — one physical
+// copy shared by every concurrent sweep process — and each replaying cell
+// pays only a cursor, no per-cell trace allocation.
 type ContactCache struct {
 	// Dir, when non-empty, is the on-disk persistence directory. It is
 	// created on first write.
 	Dir string
 
+	// Mmap, with Dir set, makes Source return zero-copy mmap-backed views
+	// of the persisted traces instead of decoded recordings. Recording
+	// still returns the materialized form for callers that need it.
+	Mmap bool
+
+	// MaxBytes, when positive, bounds the persisted store's total size:
+	// after each recording is persisted, least-recently-used traces are
+	// evicted until the shards fit the budget (see GC). Zero means
+	// unbounded.
+	MaxBytes int64
+
 	// Warn, when non-nil, receives one message per non-fatal cache anomaly:
 	// an unreadable, corrupt, or scenario-mismatched persisted trace, or a
 	// legacy text file whose truncation cannot be detected. Each distinct
-	// anomaly is reported once per cache instance. Nil discards them.
+	// (cause, fingerprint) pair is reported once per cache instance — the
+	// same trace probed at several candidate paths (sharded, legacy flat)
+	// warns once, but distinct damaged traces each get their own report.
+	// Nil discards them.
 	Warn func(msg string)
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	disk    *traceStore
 	records uint64 // recording passes actually executed (not served from memory/disk)
 	warned  map[string]bool
 }
@@ -53,6 +73,40 @@ type cacheEntry struct {
 	once sync.Once
 	rec  *wireless.Recording
 	err  error
+
+	// The mmap view is materialized separately from the slurped recording:
+	// Source-only consumers never pay for the decoded slice, and
+	// Recording-only consumers never map the file.
+	viewOnce sync.Once
+	view     *wireless.RecordingView
+}
+
+// entry returns (creating if needed) the memoization slot for key.
+func (cc *ContactCache) entry(key string) *cacheEntry {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.entries == nil {
+		cc.entries = make(map[string]*cacheEntry)
+	}
+	e := cc.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		cc.entries[key] = e
+	}
+	return e
+}
+
+// store returns the sharded disk store (nil when Dir is unset).
+func (cc *ContactCache) store() *traceStore {
+	if cc.Dir == "" {
+		return nil
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.disk == nil {
+		cc.disk = newTraceStore(cc.Dir)
+	}
+	return cc.disk
 }
 
 // Recording returns the contact trace for cfg's mobility process,
@@ -63,18 +117,7 @@ func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
 		return nil, fmt.Errorf("experiments: contact cache cannot serve a contact-plan scenario")
 	}
 	key := scenario.ContactFingerprint(cfg)
-
-	cc.mu.Lock()
-	if cc.entries == nil {
-		cc.entries = make(map[string]*cacheEntry)
-	}
-	e := cc.entries[key]
-	if e == nil {
-		e = &cacheEntry{}
-		cc.entries[key] = e
-	}
-	cc.mu.Unlock()
-
+	e := cc.entry(key)
 	e.once.Do(func() {
 		// The recover runs inside the once: a panic escaping here would
 		// mark the once done with (nil, nil), handing every later caller a
@@ -87,6 +130,72 @@ func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
 		e.rec, e.err = cc.load(key, cfg)
 	})
 	return e.rec, e.err
+}
+
+// Source returns a replay source for cfg's contact process: with Dir and
+// Mmap set, a shared read-only mmap view of the persisted trace (recording
+// and persisting it first if absent); otherwise the in-memory recording.
+// Every anomaly on the view path — damaged file, scenario mismatch —
+// falls back to the slurp path after reporting through Warn, so Source
+// never fails where Recording would succeed.
+func (cc *ContactCache) Source(cfg sim.Config) (wireless.ReplaySource, error) {
+	if cfg.Plan != nil {
+		return nil, fmt.Errorf("experiments: contact cache cannot serve a contact-plan scenario")
+	}
+	if cc.Dir == "" || !cc.Mmap {
+		return cc.Recording(cfg)
+	}
+	key := scenario.ContactFingerprint(cfg)
+	e := cc.entry(key)
+	e.viewOnce.Do(func() {
+		// The budget check runs once per view materialization (the
+		// recording path GCs again on persist), never on memoized hits —
+		// a GC pass walks the whole store.
+		defer cc.gcAfterUse()
+		if v := cc.openView(key, cfg); v != nil {
+			e.view = v
+			return
+		}
+		// No usable persisted copy: record (and persist) through the slurp
+		// path, then map the freshly written shard. A second openView
+		// failure here means persistence itself failed (full disk,
+		// read-only dir) and the in-memory fallback below serves the key.
+		if _, err := cc.Recording(cfg); err != nil {
+			return
+		}
+		e.view = cc.openView(key, cfg)
+	})
+	if e.view != nil {
+		return e.view, nil
+	}
+	return cc.Recording(cfg)
+}
+
+// openView maps and verifies the persisted trace for key. nil means no
+// usable copy (absent, damaged, or recorded for a different scenario);
+// damage and mismatch are surfaced via Warn, and the mapping is always
+// released on the rejection paths — a failed validation must not leak an
+// mmap for the life of the sweep.
+func (cc *ContactCache) openView(key string, cfg sim.Config) *wireless.RecordingView {
+	st := cc.store()
+	path := st.locate(key)
+	v, err := wireless.OpenRecordingView(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			cc.warnf("corrupt:"+key, "contact cache: rejecting %s: %v; re-recording", path, err)
+		}
+		return nil
+	}
+	if err := sim.ReplaySourceCompatible(contactCanonical(cfg), v); err != nil {
+		v.Close()
+		cc.warnf("mismatch:"+key, "contact cache: %s does not match the scenario: %v; re-recording", path, err)
+		return nil
+	}
+	fi, statErr := os.Stat(path)
+	if statErr == nil {
+		st.touch(key, fi.Size())
+	}
+	return v
 }
 
 // contactCanonical keeps exactly the fields the contact process can see —
@@ -176,10 +285,9 @@ func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool
 // load fills one cache entry: from disk if persisted, else by running the
 // contacts-only recording pass (and persisting it when Dir is set).
 func (cc *ContactCache) load(key string, cfg sim.Config) (*wireless.Recording, error) {
-	binPath := ""
-	if cc.Dir != "" {
-		binPath = filepath.Join(cc.Dir, key+".contactsb")
-		if rec := cc.fromDisk(key, cfg, binPath); rec != nil {
+	st := cc.store()
+	if st != nil {
+		if rec := cc.fromDisk(key, cfg, st); rec != nil {
 			return rec, nil
 		}
 	}
@@ -190,65 +298,74 @@ func (cc *ContactCache) load(key string, cfg sim.Config) (*wireless.Recording, e
 	cc.mu.Lock()
 	cc.records++
 	cc.mu.Unlock()
-	if binPath != "" {
+	if st != nil {
 		// Persistence is an optimization: a full disk must not fail a run
 		// that already holds a valid recording, so errors are swallowed.
-		persist(cc.Dir, binPath, wireless.EncodeBinary(rec))
+		st.put(key, wireless.EncodeBinary(rec))
+		cc.gcAfterUse()
 	}
 	return rec, nil
 }
 
-// fromDisk tries the persisted copies of key: the binary file first, then
-// the legacy text file (which is upgraded to binary on success). nil means
-// a miss — absent, unreadable, damaged, or recorded for a different
+// fromDisk tries the persisted copies of key: the sharded (or
+// still-flat) binary file first, then the legacy flat text file — which
+// is upgraded into the shard on success and then retired. nil means a
+// miss — absent, unreadable, damaged, or recorded for a different
 // scenario — and every cause except plain absence is surfaced via Warn.
-// The .contactsb file is decoded strictly (the cache only ever writes
-// binary there, so anything else in it is damage); the trailer-less
-// legacy tolerance applies to .contacts text files alone.
-func (cc *ContactCache) fromDisk(key string, cfg sim.Config, binPath string) *wireless.Recording {
+// The binary file is decoded strictly (the cache only ever writes binary
+// there, so anything else in it is damage); the trailer-less legacy
+// tolerance applies to .contacts text files alone.
+func (cc *ContactCache) fromDisk(key string, cfg sim.Config, st *traceStore) *wireless.Recording {
+	binPath := st.locate(key)
 	if rec := cc.readTrace(key, cfg, binPath, false); rec != nil {
+		fi, err := os.Stat(binPath)
+		if err == nil {
+			st.touch(key, fi.Size())
+		}
 		return rec
 	}
-	textPath := filepath.Join(cc.Dir, key+".contacts")
-	rec := cc.readTrace(key, cfg, textPath, true)
+	rec := cc.readTrace(key, cfg, st.flatTextPath(key), true)
 	if rec != nil {
-		// Upgrade write-through: later runs take the fast binary path.
-		persist(cc.Dir, binPath, wireless.EncodeBinary(rec))
+		// Upgrade write-through: later runs take the fast binary path, and
+		// the flat text file is retired into the shard.
+		st.put(key, wireless.EncodeBinary(rec))
 	}
 	return rec
 }
 
 // readTrace loads and verifies one persisted trace file, sniffing the
 // format by magic. nil means unusable; only os.IsNotExist stays silent.
+// Warnings dedupe per (cause, fingerprint), not per path, so probing the
+// same damaged trace at several candidate locations reports once.
 func (cc *ContactCache) readTrace(key string, cfg sim.Config, path string, legacyOK bool) *wireless.Recording {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			cc.warnf("io:"+path, "contact cache: reading %s: %v; re-recording", path, err)
+			cc.warnf("io:"+key, "contact cache: reading %s: %v; re-recording", path, err)
 		}
 		return nil
 	}
 	var rec *wireless.Recording
 	if legacyOK {
 		rec, err = wireless.DecodeRecordingLegacy(data, func(msg string) {
-			cc.warnf("legacy:"+path, "contact cache: %s: %s", path, msg)
+			cc.warnf("legacy:"+key, "contact cache: %s: %s", path, msg)
 		})
 	} else {
 		rec, err = wireless.DecodeRecording(data)
 	}
 	if err != nil {
-		cc.warnf("corrupt:"+path, "contact cache: rejecting %s: %v; re-recording", path, err)
+		cc.warnf("corrupt:"+key, "contact cache: rejecting %s: %v; re-recording", path, err)
 		return nil
 	}
 	if err := sim.ReplayCompatible(cfg, rec); err != nil {
-		cc.warnf("mismatch:"+path, "contact cache: %s does not match the scenario: %v; re-recording", path, err)
+		cc.warnf("mismatch:"+key, "contact cache: %s does not match the scenario: %v; re-recording", path, err)
 		return nil
 	}
 	return rec
 }
 
 // warnf formats and delivers one warning through the hook, at most once
-// per dedup key for the life of the cache.
+// per (cause, fingerprint) dedup key for the life of the cache.
 func (cc *ContactCache) warnf(dedup, format string, args ...any) {
 	cc.mu.Lock()
 	warn := cc.Warn
@@ -264,31 +381,70 @@ func (cc *ContactCache) warnf(dedup, format string, args ...any) {
 	warn(fmt.Sprintf(format, args...))
 }
 
-// persist writes the trace via a temp file and rename, so concurrent
-// processes sharing one cache directory never observe a torn file. Even a
-// torn file is harmless — both formats detect truncation (binary count +
-// CRC32 footer, text end trailer) and the reader re-records — but the
-// atomic rename keeps a shared cache directory from wasting those passes.
-func persist(dir, path string, data []byte) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// gcAfterUse applies the MaxBytes budget after a store write or view open.
+// Best-effort: a GC failure never fails the lookup that triggered it.
+func (cc *ContactCache) gcAfterUse() {
+	if cc.MaxBytes <= 0 {
 		return
 	}
-	tmp, err := os.CreateTemp(dir, ".contacts-*")
-	if err != nil {
-		return
+	_, _, _ = cc.GC()
+}
+
+// GC evicts least-recently-used persisted traces until the store fits
+// MaxBytes (no-op when MaxBytes is zero or Dir is unset). Fingerprints
+// currently held in memory by this cache are never evicted — they are the
+// sweep's working set. It returns how many trace files were removed and
+// how many bytes they freed.
+func (cc *ContactCache) GC() (removed int, freed int64, err error) {
+	st := cc.store()
+	if st == nil || cc.MaxBytes <= 0 {
+		return 0, 0, nil
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return
+	cc.mu.Lock()
+	keep := make(map[string]bool, len(cc.entries))
+	for key := range cc.entries {
+		keep[key] = true
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return
+	cc.mu.Unlock()
+	return st.gc(cc.MaxBytes, keep)
+}
+
+// MigrateDir upgrades a whole legacy cache directory into the sharded
+// layout at once (the per-key migration in Recording/Source handles the
+// same upgrade lazily): flat .contactsb files move into their shards,
+// legacy .contacts text traces are re-encoded binary and retired. It
+// returns how many traces were migrated.
+func (cc *ContactCache) MigrateDir() (moved int, err error) {
+	st := cc.store()
+	if st == nil {
+		return 0, nil
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	return st.migrate(func(msg string) { cc.warnf("migrate:"+msg, "%s", msg) })
+}
+
+// Close releases every mmap-backed view the cache opened and flushes the
+// store index. The cache must not serve replays after Close (live cursors
+// would read unmapped pages).
+func (cc *ContactCache) Close() error {
+	cc.mu.Lock()
+	var views []*wireless.RecordingView
+	for _, e := range cc.entries {
+		if e.view != nil {
+			views = append(views, e.view)
+		}
 	}
+	disk := cc.disk
+	cc.mu.Unlock()
+	var errs []error
+	for _, v := range views {
+		if err := v.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if disk != nil {
+		disk.flush()
+	}
+	return errors.Join(errs...)
 }
 
 // Len returns the number of distinct contact traces held.
@@ -304,4 +460,15 @@ func (cc *ContactCache) Recorded() uint64 {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	return cc.records
+}
+
+// ShardPath returns where key's trace is (or would be) persisted in the
+// sharded layout — exported for the CLIs' diagnostics and the migration
+// gate in CI.
+func (cc *ContactCache) ShardPath(key string) string {
+	st := cc.store()
+	if st == nil {
+		return ""
+	}
+	return st.shardPath(key)
 }

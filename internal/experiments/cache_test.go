@@ -173,9 +173,13 @@ func TestCacheDiskPersistence(t *testing.T) {
 	if first.Recorded() != 1 {
 		t.Fatalf("first cache ran %d recordings, want 1", first.Recorded())
 	}
-	files, err := filepath.Glob(filepath.Join(dir, "*.contactsb"))
+	// Traces persist into the 2-level sharded layout, not the flat dir.
+	files, err := filepath.Glob(filepath.Join(dir, "??", "*.contactsb"))
 	if err != nil || len(files) != 1 {
-		t.Fatalf("persisted files = %v (err %v), want exactly one", files, err)
+		t.Fatalf("persisted sharded files = %v (err %v), want exactly one", files, err)
+	}
+	if flat, _ := filepath.Glob(filepath.Join(dir, "*.contactsb")); len(flat) != 0 {
+		t.Fatalf("trace persisted into the flat directory: %v", flat)
 	}
 
 	second := &ContactCache{Dir: dir}
@@ -239,9 +243,10 @@ func TestCacheCrossFormatHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A v2 text file (with trailer) on disk, no binary sibling.
+	// A v2 text file (with trailer) on disk at its legacy flat location,
+	// no binary sibling; the upgrade must land in the sharded layout.
 	textPath := filepath.Join(dir, key+".contacts")
-	binPath := filepath.Join(dir, key+".contactsb")
+	binPath := filepath.Join(dir, key[:2], key+".contactsb")
 	if err := os.WriteFile(textPath, []byte(rec.Format()), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +314,7 @@ func TestCacheRejectsTruncatedFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	binPath := filepath.Join(dir, key+".contactsb")
+	binPath := first.ShardPath(key)
 
 	for name, data := range map[string][]byte{
 		"binary": wireless.EncodeBinary(rec),
@@ -357,9 +362,9 @@ func TestCacheSurfacesIOErrors(t *testing.T) {
 	dir := t.TempDir()
 	cfg := cacheConfig()
 	key := scenario.ContactFingerprint(cfg)
-	// A directory where the trace file should be: ReadFile fails with a
-	// real I/O error, not absence.
-	if err := os.MkdirAll(filepath.Join(dir, key+".contactsb"), 0o755); err != nil {
+	// A directory where the sharded trace file should be: ReadFile fails
+	// with a real I/O error, not absence.
+	if err := os.MkdirAll(filepath.Join(dir, key[:2], key+".contactsb"), 0o755); err != nil {
 		t.Fatal(err)
 	}
 

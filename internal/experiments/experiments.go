@@ -220,14 +220,16 @@ func runCell(exp Experiment, opt Options, j job) (v float64, err error) {
 	cfg := cellConfig(exp, opt, j)
 	// The fingerprint is taken after Apply/Mutate, so sweeps that move
 	// mobility inputs (fleet size, map) key their cells correctly and only
-	// contact-identical cells share a trace.
+	// contact-identical cells share a trace. Source hands back either the
+	// shared in-memory recording or, with ContactCache.Mmap, a zero-copy
+	// mmap view every cell (and process) replays from the page cache.
 	if opt.ContactCache != nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
-		rec, rerr := opt.ContactCache.Recording(cfg)
+		src, rerr := opt.ContactCache.Source(cfg)
 		if rerr != nil {
 			return 0, rerr
 		}
 		cfg.ContactSource = sim.ContactReplay
-		cfg.Recording = rec
+		cfg.ReplaySource = src
 	}
 	w, nerr := sim.New(cfg)
 	if nerr != nil {

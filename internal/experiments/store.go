@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"vdtn/internal/wireless"
+)
+
+// traceStore is the on-disk half of ContactCache: a sharded directory of
+// persisted contact traces keyed by scenario fingerprint.
+//
+// Layout. A flat directory — PR 1's layout — degrades once fleets reach
+// thousands of fingerprints (directory scans, lock contention, tooling
+// that chokes on huge listings), so traces live under a 2-level fan-out
+// keyed by the first two hex characters of the fingerprint:
+//
+//	<dir>/ab/abcdef0123456789.contactsb
+//	<dir>/index.json
+//
+// index.json fronts the shards: one entry per fingerprint with the trace's
+// size and last-use time, which the size-bounded GC orders its evictions
+// by. The index is advisory — the shard files are the source of truth, a
+// missing or stale index is rebuilt from them, and a fingerprint absent
+// from the index falls back to the file's mtime.
+//
+// Migration. Legacy layouts are upgraded transparently on first touch:
+// a flat <dir>/<key>.contactsb is renamed into its shard, and a legacy
+// <dir>/<key>.contacts text trace is decoded, re-encoded binary into the
+// shard and then removed. MigrateDir runs the same upgrade over a whole
+// directory at once.
+type traceStore struct {
+	dir string
+
+	mu     sync.Mutex
+	idx    map[string]indexEntry
+	loaded bool
+}
+
+// indexEntry is one index.json record.
+type indexEntry struct {
+	Size int64 `json:"size"`
+	Used int64 `json:"used"` // unix seconds of last load or store
+}
+
+const indexFile = "index.json"
+
+// indexDoc is the serialized form of the index.
+type indexDoc struct {
+	Version int                   `json:"version"`
+	Entries map[string]indexEntry `json:"entries"`
+}
+
+func newTraceStore(dir string) *traceStore { return &traceStore{dir: dir} }
+
+// shardPath returns the sharded location of key's binary trace.
+func (s *traceStore) shardPath(key string) string {
+	return filepath.Join(s.dir, shardOf(key), key+".contactsb")
+}
+
+// shardOf returns the fan-out directory for a fingerprint.
+func shardOf(key string) string {
+	if len(key) < 2 {
+		return "_" // defensive: fingerprints are 16 hex chars
+	}
+	return key[:2]
+}
+
+func (s *traceStore) flatBinPath(key string) string {
+	return filepath.Join(s.dir, key+".contactsb")
+}
+
+func (s *traceStore) flatTextPath(key string) string {
+	return filepath.Join(s.dir, key+".contacts")
+}
+
+// locate returns the path key's binary trace should be read from,
+// migrating a legacy flat-dir file into its shard first (best-effort: if
+// the rename fails, the flat path is still served so a read-only cache
+// directory keeps working).
+func (s *traceStore) locate(key string) string {
+	shard := s.shardPath(key)
+	if _, err := os.Stat(shard); err == nil {
+		return shard
+	}
+	flat := s.flatBinPath(key)
+	fi, err := os.Stat(flat)
+	if err != nil || fi.IsDir() {
+		return shard
+	}
+	if err := os.MkdirAll(filepath.Dir(shard), 0o755); err != nil {
+		return flat
+	}
+	if err := os.Rename(flat, shard); err != nil {
+		return flat
+	}
+	s.touch(key, fi.Size())
+	return shard
+}
+
+// put persists one encoded trace into its shard via a temp file and
+// rename, so concurrent processes sharing the directory never observe a
+// torn file, then retires any flat-dir leftovers for the key. Errors are
+// swallowed by the caller's contract: persistence is an optimization and
+// must never fail a run that already holds a valid recording.
+func (s *traceStore) put(key string, data []byte) (path string, ok bool) {
+	path = s.shardPath(key)
+	if !writeAtomic(filepath.Dir(path), path, data) {
+		return path, false
+	}
+	// The sharded copy is now authoritative; flat-dir leftovers would only
+	// double the cache's footprint and re-trigger migration probes.
+	os.Remove(s.flatBinPath(key))
+	os.Remove(s.flatTextPath(key))
+	s.touch(key, int64(len(data)))
+	s.flush()
+	return path, true
+}
+
+// retireFlatText removes a legacy flat text trace once its content has
+// been re-encoded into a shard.
+func (s *traceStore) retireFlatText(key string) { os.Remove(s.flatTextPath(key)) }
+
+// touch records a use of key in the index (in memory; flush persists).
+func (s *traceStore) touch(key string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loadLocked()
+	s.idx[key] = indexEntry{Size: size, Used: time.Now().Unix()}
+}
+
+// loadLocked reads index.json once; a missing or unparsable index starts
+// empty (the shard files are the source of truth).
+func (s *traceStore) loadLocked() {
+	if s.loaded {
+		return
+	}
+	s.loaded = true
+	s.idx = make(map[string]indexEntry)
+	data, err := os.ReadFile(filepath.Join(s.dir, indexFile))
+	if err != nil {
+		return
+	}
+	var doc indexDoc
+	if json.Unmarshal(data, &doc) == nil && doc.Entries != nil {
+		s.idx = doc.Entries
+	}
+}
+
+// flush writes the index atomically. Best-effort: the index is advisory.
+func (s *traceStore) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loadLocked()
+	doc := indexDoc{Version: 1, Entries: s.idx}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return
+	}
+	writeAtomic(s.dir, filepath.Join(s.dir, indexFile), append(data, '\n'))
+}
+
+// storedTrace describes one shard file for GC.
+type storedTrace struct {
+	key  string
+	path string
+	size int64
+	used int64
+}
+
+// list enumerates every sharded trace with its LRU ordering key.
+func (s *traceStore) list() ([]storedTrace, error) {
+	files, err := filepath.Glob(filepath.Join(s.dir, "??", "*.contactsb"))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.loadLocked()
+	idx := make(map[string]indexEntry, len(s.idx))
+	for k, e := range s.idx {
+		idx[k] = e
+	}
+	s.mu.Unlock()
+
+	var out []storedTrace
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		key := trimExt(filepath.Base(f))
+		st := storedTrace{key: key, path: f, size: fi.Size(), used: fi.ModTime().Unix()}
+		if e, ok := idx[key]; ok && e.Used > 0 {
+			st.used = e.Used
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func trimExt(name string) string {
+	if ext := filepath.Ext(name); ext != "" {
+		return name[:len(name)-len(ext)]
+	}
+	return name
+}
+
+// gc evicts least-recently-used traces until the store's total size fits
+// maxBytes. Keys in keep (the cache's hot in-memory entries) are never
+// evicted. On unix an mmap'd view of an evicted file stays valid — the
+// kernel keeps the pages until the last mapping goes away — so GC cannot
+// tear a trace out from under a running sweep.
+func (s *traceStore) gc(maxBytes int64, keep map[string]bool) (removed int, freed int64, err error) {
+	traces, err := s.list()
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	for _, t := range traces {
+		total += t.size
+	}
+	if total <= maxBytes {
+		return 0, 0, nil
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		if traces[i].used != traces[j].used {
+			return traces[i].used < traces[j].used
+		}
+		return traces[i].key < traces[j].key // deterministic tie-break
+	})
+	s.mu.Lock()
+	s.loadLocked()
+	for _, t := range traces {
+		if total <= maxBytes {
+			break
+		}
+		if keep[t.key] {
+			continue
+		}
+		if rmErr := os.Remove(t.path); rmErr != nil {
+			err = rmErr
+			continue
+		}
+		delete(s.idx, t.key)
+		total -= t.size
+		freed += t.size
+		removed++
+	}
+	s.mu.Unlock()
+	s.flush()
+	return removed, freed, err
+}
+
+// migrate upgrades every legacy flat-dir file into the sharded layout:
+// flat .contactsb files are renamed into their shard; flat .contacts text
+// traces are decoded (tolerating pre-trailer files via warn), re-encoded
+// binary into their shard, and removed. Returns how many traces moved.
+func (s *traceStore) migrate(warn func(msg string)) (moved int, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch filepath.Ext(name) {
+		case ".contactsb":
+			key := trimExt(name)
+			if _, statErr := os.Stat(s.shardPath(key)); statErr == nil {
+				// A sharded copy already exists; the flat file is a stale
+				// duplicate that locate will never probe again.
+				os.Remove(filepath.Join(s.dir, name))
+				continue
+			}
+			if s.locate(key) == s.shardPath(key) {
+				moved++
+			} else {
+				err = fmt.Errorf("experiments: could not move %s into its shard", name)
+			}
+		case ".contacts":
+			key := trimExt(name)
+			if _, statErr := os.Stat(s.shardPath(key)); statErr == nil {
+				// A binary sibling already migrated; the text copy is
+				// redundant history.
+				s.retireFlatText(key)
+				continue
+			}
+			data, readErr := os.ReadFile(filepath.Join(s.dir, name))
+			if readErr != nil {
+				err = readErr
+				continue
+			}
+			rec, decErr := wireless.DecodeRecordingLegacy(data, func(msg string) {
+				if warn != nil {
+					warn(fmt.Sprintf("contact cache: %s: %s", name, msg))
+				}
+			})
+			if decErr != nil {
+				if warn != nil {
+					warn(fmt.Sprintf("contact cache: not migrating %s: %v", name, decErr))
+				}
+				continue
+			}
+			if _, ok := s.put(key, wireless.EncodeBinary(rec)); ok {
+				moved++
+			} else {
+				err = fmt.Errorf("experiments: could not upgrade %s into its shard", name)
+			}
+		}
+	}
+	return moved, err
+}
+
+// writeAtomic writes data to path via a temp file and rename, creating dir
+// first. It reports success; failures are the caller's policy to absorb.
+func writeAtomic(dir, path string, data []byte) bool {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(dir, ".contacts-*")
+	if err != nil {
+		return false
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}

@@ -1,0 +1,429 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"vdtn/internal/scenario"
+	"vdtn/internal/sim"
+	"vdtn/internal/wireless"
+)
+
+// seedTrace records the canonical trace for cfg's contact process without
+// going through a cache, for building disk fixtures.
+func seedTrace(t *testing.T, cfg sim.Config) (key string, rec *wireless.Recording) {
+	t.Helper()
+	key = scenario.ContactFingerprint(cfg)
+	rec, err := sim.RecordContacts(contactCanonical(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, rec
+}
+
+// TestCacheMigratesLegacyFlatDir is the flat-dir → sharded migration gate:
+// a cache directory laid out the way PRs 1-2 wrote it — flat .contactsb
+// binaries and legacy .contacts text files — must serve a sweep without a
+// single re-recording pass, and come out the other side in the sharded
+// layout with the flat files retired.
+func TestCacheMigratesLegacyFlatDir(t *testing.T) {
+	dir := t.TempDir()
+	exp := cacheExperiment()
+	opt := Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig}
+
+	// Build the legacy flat directory: seed 1 as flat binary, seed 2 as
+	// legacy text.
+	for seed, asText := range map[uint64]bool{1: false, 2: true} {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		key, rec := seedTrace(t, cfg)
+		if asText {
+			if err := os.WriteFile(filepath.Join(dir, key+".contacts"), []byte(rec.Format()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := os.WriteFile(filepath.Join(dir, key+".contactsb"), wireless.EncodeBinary(rec), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	plain := Run(exp, opt)
+
+	cache := &ContactCache{Dir: dir}
+	opt.ContactCache = cache
+	migrated, err := RunE(exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Series, migrated.Series) {
+		t.Fatal("sweep over the migrated legacy cache diverged from the uncached table")
+	}
+	if cache.Recorded() != 0 {
+		t.Fatalf("legacy flat-dir traces did not serve the sweep: %d re-recordings", cache.Recorded())
+	}
+
+	// The directory must now be sharded, with no flat trace files left.
+	sharded, err := filepath.Glob(filepath.Join(dir, "??", "*.contactsb"))
+	if err != nil || len(sharded) != 2 {
+		t.Fatalf("sharded traces = %v (err %v), want 2", sharded, err)
+	}
+	for _, pattern := range []string{"*.contactsb", "*.contacts"} {
+		if flat, _ := filepath.Glob(filepath.Join(dir, pattern)); len(flat) != 0 {
+			t.Fatalf("flat files survived migration: %v", flat)
+		}
+	}
+
+	// And a third cache over the migrated directory serves purely from the
+	// shards.
+	after := &ContactCache{Dir: dir}
+	for _, seed := range []uint64{1, 2} {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		if _, err := after.Recording(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after.Recorded() != 0 {
+		t.Fatalf("migrated shards did not serve a later cache: %d re-recordings", after.Recorded())
+	}
+}
+
+// TestCacheMigrateDirSweep: the one-shot MigrateDir upgrade moves every
+// legacy file at once, without waiting for per-key first touches.
+func TestCacheMigrateDirSweep(t *testing.T) {
+	dir := t.TempDir()
+	var keys []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		key, rec := seedTrace(t, cfg)
+		keys = append(keys, key)
+		name := key + ".contactsb"
+		data := wireless.EncodeBinary(rec)
+		if seed == 3 {
+			name = key + ".contacts"
+			data = []byte(rec.Format())
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cache := &ContactCache{Dir: dir}
+	moved, err := cache.MigrateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3 {
+		t.Fatalf("MigrateDir moved %d traces, want 3", moved)
+	}
+	for _, key := range keys {
+		if _, err := os.Stat(cache.ShardPath(key)); err != nil {
+			t.Fatalf("trace %s not in its shard after MigrateDir: %v", key, err)
+		}
+	}
+	if flat, _ := filepath.Glob(filepath.Join(dir, "*.contacts*")); len(flat) != 0 {
+		t.Fatalf("flat files survived MigrateDir: %v", flat)
+	}
+
+	// A stale flat duplicate of an already-sharded trace is removed, not
+	// re-counted as a migration.
+	stale := filepath.Join(dir, keys[0]+".contactsb")
+	if err := os.WriteFile(stale, []byte("stale duplicate"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	moved, err = cache.MigrateDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Fatalf("re-running MigrateDir over a stale duplicate reported %d moves", moved)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale flat duplicate survived MigrateDir (err %v)", err)
+	}
+}
+
+// TestCacheGCEvictsLRU: the size-bounded GC removes least-recently-used
+// traces first (index order, falling back to file mtime) and stops as soon
+// as the store fits the budget.
+func TestCacheGCEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	warm := &ContactCache{Dir: dir}
+	var keys []string
+	var sizes []int64
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		if _, err := warm.Recording(cfg); err != nil {
+			t.Fatal(err)
+		}
+		key := scenario.ContactFingerprint(cfg)
+		keys = append(keys, key)
+		fi, err := os.Stat(warm.ShardPath(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, fi.Size())
+	}
+
+	// Make mtimes the LRU signal: seed 1 oldest, seed 3 newest. The index
+	// written during recording has second-granularity same-time entries, so
+	// remove it and let the mtime fallback order the eviction.
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	for i, key := range keys {
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(warm.ShardPath(key), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Budget for exactly the two newest traces.
+	gc := &ContactCache{Dir: dir, MaxBytes: sizes[1] + sizes[2]}
+	removed, freed, err := gc.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed != sizes[0] {
+		t.Fatalf("GC removed %d traces (%d bytes), want 1 (%d bytes)", removed, freed, sizes[0])
+	}
+	if _, err := os.Stat(gc.ShardPath(keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("least-recently-used trace %s survived GC (err %v)", keys[0], err)
+	}
+	for _, key := range keys[1:] {
+		if _, err := os.Stat(gc.ShardPath(key)); err != nil {
+			t.Fatalf("recently-used trace %s evicted: %v", key, err)
+		}
+	}
+
+	// Hot in-memory entries are never evicted, even when oldest: load
+	// keys[1], starve the budget, and only keys[2] may go.
+	hot := &ContactCache{Dir: dir, MaxBytes: 1}
+	cfg := cacheConfig()
+	cfg.Seed = 2
+	if _, err := hot.Recording(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hot.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(hot.ShardPath(keys[1])); err != nil {
+		t.Fatalf("hot trace %s evicted by GC: %v", keys[1], err)
+	}
+	if _, err := os.Stat(hot.ShardPath(keys[2])); !os.IsNotExist(err) {
+		t.Fatalf("cold trace %s survived a 1-byte budget (err %v)", keys[2], err)
+	}
+}
+
+// TestCacheGCHonorsIndexOrder: when the index disagrees with mtimes, the
+// index wins — last-use recorded there is the LRU signal.
+func TestCacheGCHonorsIndexOrder(t *testing.T) {
+	dir := t.TempDir()
+	warm := &ContactCache{Dir: dir}
+	var keys []string
+	var total int64
+	var maxSize int64
+	for seed := uint64(1); seed <= 2; seed++ {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		if _, err := warm.Recording(cfg); err != nil {
+			t.Fatal(err)
+		}
+		key := scenario.ContactFingerprint(cfg)
+		keys = append(keys, key)
+		fi, err := os.Stat(warm.ShardPath(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+		if fi.Size() > maxSize {
+			maxSize = fi.Size()
+		}
+	}
+	// Index says keys[1] is ancient and keys[0] fresh; mtimes say nothing
+	// (both just written).
+	doc := indexDoc{Version: 1, Entries: map[string]indexEntry{
+		keys[0]: {Size: 1, Used: time.Now().Unix()},
+		keys[1]: {Size: 1, Used: 1},
+	}}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gc := &ContactCache{Dir: dir, MaxBytes: maxSize}
+	if _, _, err := gc.GC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(gc.ShardPath(keys[1])); !os.IsNotExist(err) {
+		t.Fatalf("index-stale trace %s survived GC (err %v)", keys[1], err)
+	}
+	if _, err := os.Stat(gc.ShardPath(keys[0])); err != nil {
+		t.Fatalf("index-fresh trace %s evicted: %v", keys[0], err)
+	}
+}
+
+// TestCacheWarnsPerCauseAndKey: two distinct damaged traces each surface
+// through the Warn hook — deduplication is per (cause, fingerprint), so a
+// second corrupt key is not swallowed by the first one's report — while
+// repeated probes of one key stay deduplicated.
+func TestCacheWarnsPerCauseAndKey(t *testing.T) {
+	dir := t.TempDir()
+	var warnings []string
+	cache := &ContactCache{Dir: dir, Warn: func(msg string) { warnings = append(warnings, msg) }}
+
+	cfgs := make([]sim.Config, 2)
+	for i := range cfgs {
+		cfgs[i] = cacheConfig()
+		cfgs[i].Seed = uint64(i + 1)
+		key := scenario.ContactFingerprint(cfgs[i])
+		path := cache.ShardPath(key)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte("garbage, not a trace\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cfg := range cfgs {
+		if _, err := cache.Recording(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("warnings = %v, want one per damaged fingerprint", warnings)
+	}
+	for _, w := range warnings {
+		if !strings.Contains(w, "rejecting") {
+			t.Fatalf("warning %q does not name the corruption", w)
+		}
+	}
+	// Same keys again: memoized entries, no fresh warnings.
+	for _, cfg := range cfgs {
+		if _, err := cache.Recording(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("repeated lookups re-warned: %v", warnings)
+	}
+}
+
+// TestCacheMmapSourceServesViews: with Dir+Mmap, Source returns a shared
+// mmap-backed RecordingView; the sweep over views is bit-identical to the
+// uncached table; and the view is the same instance for every cell of a
+// key.
+func TestCacheMmapSourceServesViews(t *testing.T) {
+	dir := t.TempDir()
+	exp := cacheExperiment()
+	opt := Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig}
+
+	plain := Run(exp, opt)
+
+	cache := &ContactCache{Dir: dir, Mmap: true}
+	defer cache.Close()
+	opt.ContactCache = cache
+	mapped, err := RunE(exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Series, mapped.Series) {
+		t.Fatal("mmap-served sweep diverged from the uncached table")
+	}
+
+	cfg := cacheConfig()
+	src, err := cache.Source(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, ok := src.(*wireless.RecordingView)
+	if !ok {
+		t.Fatalf("Source returned %T, want *wireless.RecordingView", src)
+	}
+	again, err := cache.Source(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != src {
+		t.Fatal("Source returned a second view for one fingerprint")
+	}
+	// The view decodes to exactly the recording the slurp path holds.
+	rec, err := cache.Recording(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(view.Materialize(), rec) {
+		t.Fatal("mmap view holds a different trace than the decoded recording")
+	}
+}
+
+// TestCacheMmapFallsBack: Source degrades gracefully — no Dir means the
+// in-memory recording; a scenario-mismatched persisted trace is rejected
+// (closing the view on the failure path), warned about once, re-recorded,
+// and then served as a fresh view.
+func TestCacheMmapFallsBack(t *testing.T) {
+	memory := &ContactCache{Mmap: true}
+	cfg := cacheConfig()
+	src, err := memory.Source(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.(*wireless.Recording); !ok {
+		t.Fatalf("dirless Source returned %T, want *wireless.Recording", src)
+	}
+
+	// A persisted trace recorded at a different scan interval: guaranteed
+	// ReplaySourceCompatible failure, independent of mobility randomness.
+	dir := t.TempDir()
+	other := cfg
+	other.ScanInterval = 2
+	otherRec, err := sim.RecordContacts(contactCanonical(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := scenario.ContactFingerprint(cfg)
+	var warnings []string
+	cache := &ContactCache{Dir: dir, Mmap: true, Warn: func(msg string) { warnings = append(warnings, msg) }}
+	defer cache.Close()
+	path := cache.ShardPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, wireless.EncodeBinary(otherRec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err = cache.Source(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, ok := src.(*wireless.RecordingView)
+	if !ok {
+		t.Fatalf("Source after mismatch returned %T, want a fresh view", src)
+	}
+	if got := view.Meta().ScanInterval; got != cfg.ScanInterval {
+		t.Fatalf("served view has scan interval %v, want the re-recorded %v", got, cfg.ScanInterval)
+	}
+	if cache.Recorded() != 1 {
+		t.Fatalf("mismatched trace triggered %d recordings, want 1", cache.Recorded())
+	}
+	found := false
+	for _, w := range warnings {
+		found = found || strings.Contains(w, "does not match the scenario")
+	}
+	if !found {
+		t.Fatalf("mismatch not surfaced via Warn: %v", warnings)
+	}
+}

@@ -170,11 +170,21 @@ type Config struct {
 	// or replay of a recorded contact trace. Mutually exclusive with Plan.
 	ContactSource ContactSource
 	// Recording is the contact trace buffer: ContactRecord resets and
-	// fills it during the run, ContactReplay reads it. It must be non-nil
-	// exactly when ContactSource is not ContactLive. Replayed recordings
-	// must match the scenario's scan interval and node count; RecordContacts
-	// produces a matching trace from the scenario's mobility alone.
+	// fills it during the run, ContactReplay reads it (unless ReplaySource
+	// is set). It must be non-nil when ContactSource is ContactRecord, and
+	// in ContactReplay mode exactly one of Recording and ReplaySource must
+	// be set. Replayed recordings must match the scenario's scan interval
+	// and node count; RecordContacts produces a matching trace from the
+	// scenario's mobility alone.
 	Recording *wireless.Recording
+	// ReplaySource, when non-nil in ContactReplay mode, drives the replay
+	// from a streaming trace source — typically a zero-copy
+	// wireless.RecordingView over a persisted .contactsb file — instead of
+	// a materialized Recording. Views validate once at open and replay
+	// with no per-run trace allocation, so concurrent sweep cells (and
+	// concurrent processes, via the page cache) share one copy of the
+	// trace. Ignored outside replay mode.
+	ReplaySource wireless.ReplaySource
 
 	// Vehicles is the number of mobile nodes (ids 0..Vehicles-1).
 	Vehicles int
@@ -322,18 +332,26 @@ func (c Config) Validate() error {
 	}
 	switch c.ContactSource {
 	case ContactLive:
-		// Recording is ignored; allow a leftover pointer.
-	case ContactRecord, ContactReplay:
+		// Recording/ReplaySource are ignored; allow leftover pointers.
+	case ContactRecord:
 		if c.Recording == nil {
 			return fmt.Errorf("sim: contact source %v needs Config.Recording", c.ContactSource)
 		}
 		if c.Plan != nil {
 			return fmt.Errorf("sim: contact source %v is exclusive with a contact plan", c.ContactSource)
 		}
-		if c.ContactSource == ContactReplay {
-			if err := ReplayCompatible(c, c.Recording); err != nil {
-				return err
-			}
+	case ContactReplay:
+		if c.Recording == nil && c.ReplaySource == nil {
+			return fmt.Errorf("sim: contact source %v needs Config.Recording or Config.ReplaySource", c.ContactSource)
+		}
+		if c.Recording != nil && c.ReplaySource != nil {
+			return fmt.Errorf("sim: contact source %v with both Config.Recording and Config.ReplaySource set", c.ContactSource)
+		}
+		if c.Plan != nil {
+			return fmt.Errorf("sim: contact source %v is exclusive with a contact plan", c.ContactSource)
+		}
+		if err := ReplaySourceCompatible(c, c.replaySource()); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("sim: unknown contact source %d", int(c.ContactSource))
@@ -352,6 +370,16 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// replaySource returns the trace source a ContactReplay run drives from:
+// the streaming source when set, else the materialized recording (which
+// implements the same interface).
+func (c Config) replaySource() wireless.ReplaySource {
+	if c.ReplaySource != nil {
+		return c.ReplaySource
+	}
+	return c.Recording
 }
 
 // ScriptedMessage is one deterministic traffic entry (see Config.Script).

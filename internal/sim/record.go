@@ -94,21 +94,33 @@ func RecordContacts(cfg Config) (*wireless.Recording, error) {
 // serving them, so a stale or misfiled cache entry re-records instead of
 // failing every cell that touches it.
 func ReplayCompatible(cfg Config, rec *wireless.Recording) error {
-	if err := rec.Validate(); err != nil {
-		return err
+	return ReplaySourceCompatible(cfg, rec)
+}
+
+// ReplaySourceCompatible is ReplayCompatible over any trace source. An
+// in-memory *Recording is structurally validated here (it may hold
+// anything); a streaming source such as a wireless.RecordingView proved
+// its structure when it was opened, so only the scenario-fit checks run —
+// which is what makes view-driven replay allocation-free per cell.
+func ReplaySourceCompatible(cfg Config, src wireless.ReplaySource) error {
+	if rec, ok := src.(*wireless.Recording); ok {
+		if err := rec.Validate(); err != nil {
+			return err
+		}
 	}
-	if rec.ScanInterval != cfg.ScanInterval {
-		return fmt.Errorf("sim: recording scan interval %v, scenario %v", rec.ScanInterval, cfg.ScanInterval)
+	meta := src.Meta()
+	if meta.ScanInterval != cfg.ScanInterval {
+		return fmt.Errorf("sim: recording scan interval %v, scenario %v", meta.ScanInterval, cfg.ScanInterval)
 	}
 	// A shorter horizon replays a prefix of the trace and stays
 	// bit-identical to a live run of that horizon; a longer one would
 	// freeze contacts in their final recorded state.
-	if cfg.Duration > rec.Duration {
-		return fmt.Errorf("sim: run duration %v exceeds the recording's %v", cfg.Duration, rec.Duration)
+	if cfg.Duration > meta.Duration {
+		return fmt.Errorf("sim: run duration %v exceeds the recording's %v", cfg.Duration, meta.Duration)
 	}
-	if rec.MaxNode() >= cfg.Vehicles+cfg.Relays {
+	if src.MaxNode() >= cfg.Vehicles+cfg.Relays {
 		return fmt.Errorf("sim: recording references node %d, scenario has %d nodes",
-			rec.MaxNode(), cfg.Vehicles+cfg.Relays)
+			src.MaxNode(), cfg.Vehicles+cfg.Relays)
 	}
 	return nil
 }

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vdtn/internal/wireless"
+)
+
+// protoPolicyPairs enumerates the full 7×6 protocol × policy matrix the
+// replay-equivalence suites sweep.
+func protoPolicyPairs() (protocols []ProtocolKind, policies []PolicyKind) {
+	return []ProtocolKind{
+			ProtoEpidemic, ProtoSprayAndWait, ProtoSprayAndWaitVanilla,
+			ProtoMaxProp, ProtoPRoPHET, ProtoDirectDelivery, ProtoFirstContact,
+		}, []PolicyKind{
+			PolicyFIFOFIFO, PolicyRandomFIFO, PolicyLifetime,
+			PolicySize, PolicyHopMOFO, PolicyFIFOOldestAge,
+		}
+}
+
+// openViewOf encodes rec, persists it, and opens an mmap-backed view —
+// the exact path a sweep process takes against a shared cache directory.
+func openViewOf(t *testing.T, rec *wireless.Recording) *wireless.RecordingView {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.contactsb")
+	if err := os.WriteFile(path, wireless.EncodeBinary(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := wireless.OpenRecordingView(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+	return v
+}
+
+// TestViewReplayEquivalence extends the PR 1 equivalence suite to the
+// zero-copy path: for every protocol × policy pair, a run replaying from
+// an mmap-backed RecordingView is bit-identical — full Result and full
+// event trace — to the run replaying the materialized in-memory recording
+// of the same trace.
+func TestViewReplayEquivalence(t *testing.T) {
+	base := replayConfig(7)
+	rec, err := RecordContacts(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := openViewOf(t, rec)
+
+	protocols, policies := protoPolicyPairs()
+	for _, proto := range protocols {
+		for _, pol := range policies {
+			t.Run(proto.String()+"/"+pol.String(), func(t *testing.T) {
+				cfg := base
+				cfg.Protocol = proto
+				cfg.Policy = pol
+				cfg.ContactSource = ContactReplay
+
+				memCfg := cfg
+				memCfg.Recording = rec
+				memRes, memEvents := runTraced(t, memCfg)
+
+				viewCfg := cfg
+				viewCfg.ReplaySource = view
+				viewRes, viewEvents := runTraced(t, viewCfg)
+
+				if memRes != viewRes {
+					t.Fatalf("view replay diverged from in-memory replay:\nmemory: %+v\nview:   %+v", memRes, viewRes)
+				}
+				if !reflect.DeepEqual(memEvents, viewEvents) {
+					for i := range memEvents {
+						if i >= len(viewEvents) || memEvents[i] != viewEvents[i] {
+							t.Fatalf("event %d diverged: memory %+v, view %+v", i, memEvents[i], eventAt(viewEvents, i))
+						}
+					}
+					t.Fatalf("view trace has %d extra events", len(viewEvents)-len(memEvents))
+				}
+			})
+		}
+	}
+}
+
+// TestViewReplayConcurrentCells replays many cells concurrently from ONE
+// shared view — the sweep-worker topology — and checks every cell against
+// its in-memory replay. Run under -race this is the view's thread-safety
+// proof: concurrent cursors over one mapped stream, no shared mutable
+// state.
+func TestViewReplayConcurrentCells(t *testing.T) {
+	base := replayConfig(9)
+	rec, err := RecordContacts(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := openViewOf(t, rec)
+
+	protocols, policies := protoPolicyPairs()
+	type cell struct {
+		proto ProtocolKind
+		pol   PolicyKind
+	}
+	var cells []cell
+	for _, proto := range protocols {
+		for _, pol := range policies {
+			cells = append(cells, cell{proto, pol})
+		}
+	}
+
+	want := make([]Result, len(cells))
+	for i, c := range cells {
+		cfg := base
+		cfg.Protocol = c.proto
+		cfg.Policy = c.pol
+		cfg.ContactSource = ContactReplay
+		cfg.Recording = rec
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = w.Run()
+	}
+
+	got := make([]Result, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			cfg := base
+			cfg.Protocol = c.proto
+			cfg.Policy = c.pol
+			cfg.ContactSource = ContactReplay
+			cfg.ReplaySource = view
+			w, err := New(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = w.Run()
+		}(i, c)
+	}
+	wg.Wait()
+	for i, c := range cells {
+		if errs[i] != nil {
+			t.Fatalf("%v/%v: %v", c.proto, c.pol, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("%v/%v: concurrent shared-view replay diverged:\nwant %+v\ngot  %+v",
+				c.proto, c.pol, want[i], got[i])
+		}
+	}
+}
+
+// TestReplaySourceValidation covers the Config.ReplaySource arms of
+// Validate: both-set and neither-set are errors, and a view is checked for
+// scenario fit exactly like a recording.
+func TestReplaySourceValidation(t *testing.T) {
+	rec, err := RecordContacts(replayConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := openViewOf(t, rec)
+
+	c := replayConfig(1)
+	c.ContactSource = ContactReplay
+	c.ReplaySource = view
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid view replay config rejected: %v", err)
+	}
+
+	both := c
+	both.Recording = rec
+	if err := both.Validate(); err == nil {
+		t.Fatal("config with both Recording and ReplaySource accepted")
+	}
+
+	neither := replayConfig(1)
+	neither.ContactSource = ContactReplay
+	if err := neither.Validate(); err == nil {
+		t.Fatal("replay config with no trace source accepted")
+	}
+
+	overflow := c
+	overflow.Vehicles = 2
+	overflow.Relays = 0
+	if err := overflow.Validate(); err == nil {
+		t.Fatal("view referencing out-of-range nodes accepted")
+	}
+
+	tooLong := c
+	tooLong.Duration = rec.Duration * 2
+	if err := tooLong.Validate(); err == nil {
+		t.Fatal("run longer than the view's horizon accepted")
+	}
+}

@@ -217,7 +217,7 @@ func (w *World) Run() Result {
 		}
 		w.medium.StartPlan(wins)
 	case w.cfg.ContactSource == ContactReplay:
-		w.medium.StartReplay(0, w.cfg.Recording)
+		w.medium.StartReplay(0, w.cfg.replaySource())
 	default:
 		if w.cfg.ContactSource == ContactRecord {
 			*w.cfg.Recording = wireless.Recording{Duration: w.cfg.Duration}

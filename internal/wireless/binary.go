@@ -82,21 +82,33 @@ func EncodeBinary(r *Recording) []byte {
 	return buf
 }
 
-// DecodeBinary reads the binary codec back into a validated Recording.
-// Integrity is checked before the stream is trusted: a short read, torn
-// write or bit flip fails the CRC or the transition count and is reported
-// as an error — never decoded as a plausible shorter trace.
-func DecodeBinary(data []byte) (*Recording, error) {
+// binEnvelope is a binary trace whose container has been verified: magic,
+// version, CRC32 and the count sanity bound all checked. The transition
+// stream itself is still raw bytes — decode it with a binCursor (see
+// stream.go), which every consumer (DecodeBinary, RecordingReader,
+// RecordingView) shares so their acceptance behaviour cannot drift apart.
+type binEnvelope struct {
+	scanInterval float64
+	duration     float64
+	stream       []byte
+	count        uint64
+}
+
+// parseBinaryEnvelope verifies the container of a binary trace. Integrity
+// is checked before the stream is trusted: a short read, torn write or bit
+// flip fails the CRC (the count is covered by it too) and is reported as
+// an error — never handed to a decoder as a plausible shorter trace.
+func parseBinaryEnvelope(data []byte) (binEnvelope, error) {
 	if !IsBinaryRecording(data) {
-		return nil, fmt.Errorf("wireless: not a binary contact recording (bad magic)")
+		return binEnvelope{}, fmt.Errorf("wireless: not a binary contact recording (bad magic)")
 	}
 	if len(data) < binaryHeaderLen+binaryFooterLen {
-		return nil, fmt.Errorf("wireless: binary recording truncated: %d bytes, header and footer need %d",
+		return binEnvelope{}, fmt.Errorf("wireless: binary recording truncated: %d bytes, header and footer need %d",
 			len(data), binaryHeaderLen+binaryFooterLen)
 	}
 	crcOff := len(data) - 4
 	if want, got := binary.LittleEndian.Uint32(data[crcOff:]), crc32.ChecksumIEEE(data[:crcOff]); want != got {
-		return nil, fmt.Errorf("wireless: binary recording CRC mismatch (stored %08x, computed %08x): truncated or corrupt", want, got)
+		return binEnvelope{}, fmt.Errorf("wireless: binary recording CRC mismatch (stored %08x, computed %08x): truncated or corrupt", want, got)
 	}
 	countOff := crcOff - 8
 	count := binary.LittleEndian.Uint64(data[countOff:crcOff])
@@ -105,53 +117,49 @@ func DecodeBinary(data []byte) (*Recording, error) {
 	version := binary.LittleEndian.Uint16(p)
 	p = p[2:]
 	if version != binaryVersion {
-		return nil, fmt.Errorf("wireless: binary recording version %d, this codec reads %d", version, binaryVersion)
+		return binEnvelope{}, fmt.Errorf("wireless: binary recording version %d, this codec reads %d", version, binaryVersion)
 	}
-	rec := &Recording{
-		ScanInterval: math.Float64frombits(binary.LittleEndian.Uint64(p)),
-		Duration:     math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+	env := binEnvelope{
+		scanInterval: math.Float64frombits(binary.LittleEndian.Uint64(p)),
+		duration:     math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+		stream:       p[16:],
+		count:        count,
 	}
-	p = p[16:]
+	if count > uint64(len(env.stream)) { // a transition occupies at least one byte; cheap sanity bound
+		return binEnvelope{}, fmt.Errorf("wireless: binary recording declares %d transitions in a %d-byte stream", count, len(env.stream))
+	}
+	return env, nil
+}
 
-	if count > uint64(len(p)) { // a transition occupies at least one byte; cheap sanity bound
-		return nil, fmt.Errorf("wireless: binary recording declares %d transitions in a %d-byte stream", count, len(p))
+// DecodeBinary reads the binary codec back into a validated Recording.
+// Integrity is checked before the stream is trusted: a short read, torn
+// write or bit flip fails the CRC or the transition count and is reported
+// as an error — never decoded as a plausible shorter trace. To decode
+// incrementally without materializing the transition slice, use
+// RecordingReader; for shared zero-copy replay, OpenRecordingView.
+func DecodeBinary(data []byte) (*Recording, error) {
+	env, err := parseBinaryEnvelope(data)
+	if err != nil {
+		return nil, err
 	}
-	if count > 0 { // keep Transitions nil for empty traces (round-trip exactness)
-		rec.Transitions = make([]Transition, 0, count)
+	rec := &Recording{ScanInterval: env.scanInterval, Duration: env.duration}
+	if env.count > 0 { // keep Transitions nil for empty traces (round-trip exactness)
+		rec.Transitions = make([]Transition, 0, env.count)
 	}
-	bits := uint64(0)
-	for len(p) > 0 {
-		flags := p[0]
-		if flags > 1 {
-			return nil, fmt.Errorf("wireless: binary recording transition %d has unknown flags %#x", len(rec.Transitions), flags)
+	cur := binCursor{p: env.stream}
+	for {
+		tr, ok, err := cur.next()
+		if err != nil {
+			return nil, err
 		}
-		p = p[1:]
-		delta, n := binary.Varint(p)
-		if n <= 0 {
-			return nil, fmt.Errorf("wireless: binary recording transition %d has a bad time delta", len(rec.Transitions))
+		if !ok {
+			break
 		}
-		p = p[n:]
-		bits += uint64(delta)
-		a, n := binary.Uvarint(p)
-		if n <= 0 || a >= maxBinaryNode {
-			return nil, fmt.Errorf("wireless: binary recording transition %d has a bad node id", len(rec.Transitions))
-		}
-		p = p[n:]
-		gap, n := binary.Uvarint(p)
-		if n <= 0 || gap >= maxBinaryNode {
-			return nil, fmt.Errorf("wireless: binary recording transition %d has a bad pair gap", len(rec.Transitions))
-		}
-		p = p[n:]
-		rec.Transitions = append(rec.Transitions, Transition{
-			Time: math.Float64frombits(bits),
-			A:    int(a),
-			B:    int(a + gap + 1),
-			Up:   flags == 1,
-		})
+		rec.Transitions = append(rec.Transitions, tr)
 	}
-	if uint64(len(rec.Transitions)) != count {
+	if uint64(len(rec.Transitions)) != env.count {
 		return nil, fmt.Errorf("wireless: binary recording truncated: footer declares %d transitions, stream held %d",
-			count, len(rec.Transitions))
+			env.count, len(rec.Transitions))
 	}
 	if err := rec.Validate(); err != nil {
 		return nil, fmt.Errorf("wireless: binary recording invalid: %w", err)

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package wireless
+
+import (
+	"io"
+	"os"
+)
+
+// mmapReadOnly on platforms without a wired-up mmap falls back to reading
+// the file into memory. The zero-copy property is lost but the API — and
+// every integrity check layered on it — behaves identically.
+func mmapReadOnly(f *os.File, size int) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package wireless
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapReadOnly maps size bytes of f read-only and shared, so every process
+// replaying the same persisted trace shares one page-cached copy: the
+// kernel keeps a single resident copy of the file and each consumer pays
+// zero heap for the transition stream.
+func mmapReadOnly(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

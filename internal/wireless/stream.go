@@ -1,0 +1,352 @@
+// Streaming access to binary contact traces: the incremental decoder
+// (binCursor), the one-transition-at-a-time validator (streamValidator),
+// the RecordingReader built from the two, and the ReplaySource interface
+// that lets replay consume a trace without a materialized []Transition.
+//
+// DecodeBinary, RecordingReader and RecordingView all decode through the
+// same binCursor and apply the same structural rules, so a byte sequence
+// is either accepted by all of them with identical transitions or rejected
+// by all of them — the property the fuzz suite pins.
+package wireless
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// RecordingMeta is the fixed-size description of a contact trace: the two
+// header fields plus the transition count — everything a replay needs to
+// know about a trace before touching its stream.
+type RecordingMeta struct {
+	// ScanInterval is the tick period of the run that recorded the trace.
+	ScanInterval float64
+	// Duration is the recorded horizon in seconds.
+	Duration float64
+	// Transitions is the number of contact transitions in the trace.
+	Transitions int
+}
+
+// TransitionCursor yields the transitions of one trace in firing order.
+// Next returns false after the final transition. Cursors are single-use
+// and not safe for concurrent use; take one cursor per replaying medium
+// (the backing trace may be shared freely).
+type TransitionCursor interface {
+	Next() (Transition, bool)
+}
+
+// ReplaySource is a contact trace a Medium can replay: metadata, the
+// highest referenced node id, and a fresh transition cursor per consumer.
+// Both the in-memory *Recording and the zero-copy *RecordingView implement
+// it; sources handed to StartReplay must already be structurally valid
+// (Recording.Validate clean — a view validates on open).
+type ReplaySource interface {
+	Meta() RecordingMeta
+	MaxNode() int
+	Cursor() TransitionCursor
+}
+
+// Meta returns the recording's metadata block.
+func (r *Recording) Meta() RecordingMeta {
+	return RecordingMeta{ScanInterval: r.ScanInterval, Duration: r.Duration, Transitions: len(r.Transitions)}
+}
+
+// Cursor returns a fresh cursor over the recording's transitions,
+// implementing ReplaySource.
+func (r *Recording) Cursor() TransitionCursor { return &sliceCursor{trs: r.Transitions} }
+
+// sliceCursor iterates a materialized transition slice.
+type sliceCursor struct {
+	trs []Transition
+	i   int
+}
+
+func (c *sliceCursor) Next() (Transition, bool) {
+	if c.i >= len(c.trs) {
+		return Transition{}, false
+	}
+	tr := c.trs[c.i]
+	c.i++
+	return tr, true
+}
+
+// binCursor decodes the transition stream of a checked binEnvelope one
+// transition at a time, with no allocation. It performs the per-entry
+// decode checks (flags, varint shape, node-id bounds); structural trace
+// rules (time ordering, state alternation) are streamValidator's job.
+type binCursor struct {
+	p    []byte
+	bits uint64
+	n    int
+}
+
+func (c *binCursor) next() (Transition, bool, error) {
+	if len(c.p) == 0 {
+		return Transition{}, false, nil
+	}
+	flags := c.p[0]
+	if flags > 1 {
+		return Transition{}, false, fmt.Errorf("wireless: binary recording transition %d has unknown flags %#x", c.n, flags)
+	}
+	p := c.p[1:]
+	delta, n := binary.Varint(p)
+	if n <= 0 {
+		return Transition{}, false, fmt.Errorf("wireless: binary recording transition %d has a bad time delta", c.n)
+	}
+	p = p[n:]
+	a, n := binary.Uvarint(p)
+	if n <= 0 || a >= maxBinaryNode {
+		return Transition{}, false, fmt.Errorf("wireless: binary recording transition %d has a bad node id", c.n)
+	}
+	p = p[n:]
+	gap, n := binary.Uvarint(p)
+	if n <= 0 || gap >= maxBinaryNode {
+		return Transition{}, false, fmt.Errorf("wireless: binary recording transition %d has a bad pair gap", c.n)
+	}
+	c.p = p[n:]
+	c.bits += uint64(delta)
+	c.n++
+	return Transition{
+		Time: math.Float64frombits(c.bits),
+		A:    int(a),
+		B:    int(a + gap + 1),
+		Up:   flags == 1,
+	}, true, nil
+}
+
+// streamValidator applies Recording.Validate's structural rules to a
+// transition stream incrementally, so streaming consumers enforce exactly
+// the invariants the slurping decoder does without holding the trace.
+// Like Validate, pair state lives in a dense bitmap for the common
+// small-id case — grown geometrically as higher ids appear, since a
+// stream's MaxNode is unknown up front — with a map fallback for huge or
+// sparse id spaces. The state structure is the only allocation and is
+// paid once per validation pass (once per view open), never per replay
+// cell.
+type streamValidator struct {
+	duration float64
+	last     float64
+	i        int
+
+	stride int    // dense bitmap stride; rows/cols are node ids
+	dense  []bool // pair (a, b) up-state at a*stride+b
+	sparse map[pairKey]bool
+}
+
+// streamDenseMax mirrors Validate's dense-path cutoff: beyond this stride
+// the bitmap (stride²  bools) costs more than the map.
+const streamDenseMax = 1 << 11
+
+func newStreamValidator(scanInterval, duration float64) (*streamValidator, error) {
+	if scanInterval <= 0 {
+		return nil, fmt.Errorf("wireless: recording has non-positive scan interval %v", scanInterval)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("wireless: recording has non-positive duration %v", duration)
+	}
+	const initialStride = 64
+	return &streamValidator{
+		duration: duration,
+		stride:   initialStride,
+		dense:    make([]bool, initialStride*initialStride),
+	}, nil
+}
+
+// check admits one transition or reports the first structural defect, with
+// the same rules (and messages) as Recording.Validate.
+func (v *streamValidator) check(tr Transition) error {
+	switch {
+	case tr.A < 0 || tr.B <= tr.A:
+		return fmt.Errorf("wireless: recording transition %d has bad pair (%d, %d)", v.i, tr.A, tr.B)
+	case tr.Time < v.last:
+		return fmt.Errorf("wireless: recording transition %d at %v before predecessor at %v", v.i, tr.Time, v.last)
+	case tr.Time > v.duration:
+		return fmt.Errorf("wireless: recording transition %d at %v beyond duration %v", v.i, tr.Time, v.duration)
+	}
+	var up bool
+	if v.sparse != nil {
+		up = v.sparse[pairKey{tr.A, tr.B}]
+	} else {
+		if tr.B >= v.stride {
+			v.grow(tr.B)
+		}
+		if v.sparse != nil { // grow fell back to the map
+			up = v.sparse[pairKey{tr.A, tr.B}]
+		} else {
+			up = v.dense[tr.A*v.stride+tr.B]
+		}
+	}
+	if up == tr.Up {
+		return fmt.Errorf("wireless: recording transition %d repeats state up=%v of pair (%d, %d)", v.i, tr.Up, tr.A, tr.B)
+	}
+	if v.sparse != nil {
+		v.sparse[pairKey{tr.A, tr.B}] = tr.Up
+	} else {
+		v.dense[tr.A*v.stride+tr.B] = tr.Up
+	}
+	v.last = tr.Time
+	v.i++
+	return nil
+}
+
+// grow widens the dense bitmap to cover node id b (geometric doubling, so
+// re-indexing amortizes), or migrates the accumulated state to the map
+// when ids outgrow the dense cutoff (the cutoff check runs before the
+// doubling, so absurd ids from corrupt input cannot overflow the stride).
+func (v *streamValidator) grow(b int) {
+	if b >= streamDenseMax {
+		v.sparse = make(map[pairKey]bool)
+		for i, up := range v.dense {
+			if up {
+				v.sparse[pairKey{i / v.stride, i % v.stride}] = true
+			}
+		}
+		v.dense = nil
+		return
+	}
+	stride := v.stride
+	for b >= stride {
+		stride *= 2
+	}
+	wide := make([]bool, stride*stride)
+	for i, up := range v.dense {
+		if up {
+			wide[(i/v.stride)*stride+i%v.stride] = true
+		}
+	}
+	v.dense = wide
+	v.stride = stride
+}
+
+// RecordingReader streams the transitions of a binary contact trace one at
+// a time, never materializing the slice — the decoder for traces too large
+// to slurp. The container (magic, version, CRC32, count bound) is verified
+// before the first transition is yielded, and every transition passes the
+// same per-entry and structural checks DecodeBinary applies, so the reader
+// can never hand out a prefix of a damaged trace.
+type RecordingReader struct {
+	meta    RecordingMeta
+	cur     binCursor
+	val     *streamValidator
+	unmap   func() error
+	failed  error
+	maxNode int
+}
+
+// NewRecordingReader starts streaming the binary trace held in data. The
+// container is verified up front; transitions decode lazily in Next.
+func NewRecordingReader(data []byte) (*RecordingReader, error) {
+	env, err := parseBinaryEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	val, err := newStreamValidator(env.scanInterval, env.duration)
+	if err != nil {
+		return nil, fmt.Errorf("wireless: binary recording invalid: %w", err)
+	}
+	return &RecordingReader{
+		meta:    RecordingMeta{ScanInterval: env.scanInterval, Duration: env.duration, Transitions: int(env.count)},
+		cur:     binCursor{p: env.stream},
+		val:     val,
+		maxNode: -1,
+	}, nil
+}
+
+// OpenRecording opens the binary trace at path for streaming, mapping the
+// file into memory where the platform allows (a shared page-cached copy,
+// no heap) and falling back to a plain read elsewhere. Close releases the
+// mapping; the reader must not be used after Close.
+func OpenRecording(path string) (*RecordingReader, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewRecordingReader(data)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, err
+	}
+	r.unmap = unmap
+	return r, nil
+}
+
+// Meta returns the trace's header fields and declared transition count.
+func (r *RecordingReader) Meta() RecordingMeta { return r.meta }
+
+// MaxNode returns the highest node id among the transitions yielded so
+// far (-1 before the first); after a clean drain to io.EOF it is the
+// trace's MaxNode.
+func (r *RecordingReader) MaxNode() int { return r.maxNode }
+
+// Next returns the next transition. It returns io.EOF after the final
+// transition of an intact trace, and a descriptive error — sticky across
+// further calls — if the stream turns out damaged (a count that lies about
+// the stream length, a malformed entry, a structural violation).
+func (r *RecordingReader) Next() (Transition, error) {
+	if r.failed != nil {
+		return Transition{}, r.failed
+	}
+	tr, ok, err := r.cur.next()
+	if err != nil {
+		r.failed = err
+		return Transition{}, err
+	}
+	if !ok {
+		if r.cur.n != r.meta.Transitions {
+			r.failed = fmt.Errorf("wireless: binary recording truncated: footer declares %d transitions, stream held %d",
+				r.meta.Transitions, r.cur.n)
+			return Transition{}, r.failed
+		}
+		r.failed = io.EOF
+		return Transition{}, io.EOF
+	}
+	if err := r.val.check(tr); err != nil {
+		r.failed = fmt.Errorf("wireless: binary recording invalid: %w", err)
+		return Transition{}, r.failed
+	}
+	if tr.B > r.maxNode {
+		r.maxNode = tr.B
+	}
+	return tr, nil
+}
+
+// Close releases the file mapping, if any. Safe to call more than once.
+func (r *RecordingReader) Close() error {
+	unmap := r.unmap
+	r.unmap = nil
+	r.failed = fmt.Errorf("wireless: recording reader closed")
+	r.cur.p = nil
+	if unmap != nil {
+		return unmap()
+	}
+	return nil
+}
+
+// mapFile returns the contents of path, memory-mapped read-only when the
+// platform supports it (see mmap_unix.go), plus the unmap function (nil
+// when the bytes are heap-backed and need no release).
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		// mmap rejects empty ranges; an empty file fails envelope parsing
+		// with the truncation message either way.
+		return nil, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("wireless: %s: %d bytes does not fit this platform's address space", path, size)
+	}
+	return mmapReadOnly(f, int(size))
+}

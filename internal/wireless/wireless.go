@@ -100,9 +100,11 @@ type Medium struct {
 	stopScan func()
 	planned  bool
 
-	rec       *Recording // transition tap, nil when not recording
-	replay    *Recording // transition source in replay mode
-	replayIdx int
+	rec           *Recording // transition tap, nil when not recording
+	replayCur     TransitionCursor
+	replayNext    Transition
+	replayHas     bool
+	replayChecked bool // node ids pre-validated at StartReplay; skip per-tick checks
 
 	// Counters for tests and reports.
 	ContactsSeen       uint64 // ContactUp events
@@ -214,28 +216,47 @@ func (m *Medium) RecordTo(rec *Recording) {
 // due at or before it, downs and ups in recorded order — so a replayed run
 // schedules exactly the same events in exactly the same order as the live
 // run that produced the recording: results are bit-identical. Entity
-// positions are never queried. The recording's scan interval must equal the
-// medium's, and every referenced node must be registered; violations panic
-// as scenario-assembly bugs. Start, StartPlan and StartReplay are mutually
-// exclusive.
-func (m *Medium) StartReplay(from float64, rec *Recording) {
+// positions are never queried.
+//
+// src is either an in-memory *Recording or a zero-copy *RecordingView
+// (any ReplaySource); the medium takes one cursor from it, so any number
+// of replaying media may share one source. The source's scan interval must
+// equal the medium's, and every referenced node must be registered;
+// violations panic as scenario-assembly bugs — eagerly for an in-memory
+// recording, at the offending tick for a streamed source (a view's node
+// range is pre-checked via MaxNode by the sim layer). Start, StartPlan and
+// StartReplay are mutually exclusive.
+func (m *Medium) StartReplay(from float64, src ReplaySource) {
 	if m.stopScan != nil || m.planned {
 		panic("wireless: StartReplay after Start")
 	}
-	if rec.ScanInterval != m.cfg.ScanInterval {
+	if scan := src.Meta().ScanInterval; scan != m.cfg.ScanInterval {
 		panic(fmt.Sprintf("wireless: recording scan interval %v, medium %v",
-			rec.ScanInterval, m.cfg.ScanInterval))
+			scan, m.cfg.ScanInterval))
 	}
-	for _, tr := range rec.Transitions {
-		if _, ok := m.byID[tr.A]; !ok {
-			panic(fmt.Sprintf("wireless: recording references unknown node %d", tr.A))
+	if rec, ok := src.(*Recording); ok {
+		// Materialized traces are cheap to pre-check, preserving the
+		// fail-at-assembly contract for direct library use — and sparing
+		// the per-tick re-check in the replay hot loop.
+		for _, tr := range rec.Transitions {
+			m.checkReplayNodes(tr)
 		}
-		if _, ok := m.byID[tr.B]; !ok {
-			panic(fmt.Sprintf("wireless: recording references unknown node %d", tr.B))
-		}
+		m.replayChecked = true
 	}
-	m.replay = rec
+	m.replayCur = src.Cursor()
+	m.replayNext, m.replayHas = m.replayCur.Next()
 	m.stopScan = m.sched.Every(from, m.cfg.ScanInterval, m.replayTick)
+}
+
+// checkReplayNodes panics if a replayed transition references an entity
+// the medium does not have — a scenario-assembly bug.
+func (m *Medium) checkReplayNodes(tr Transition) {
+	if _, ok := m.byID[tr.A]; !ok {
+		panic(fmt.Sprintf("wireless: recording references unknown node %d", tr.A))
+	}
+	if _, ok := m.byID[tr.B]; !ok {
+		panic(fmt.Sprintf("wireless: recording references unknown node %d", tr.B))
+	}
 }
 
 // replayTick applies the recorded transitions due at this scan tick. A
@@ -243,10 +264,12 @@ func (m *Medium) StartReplay(from float64, rec *Recording) {
 // so each transition fires on the exact tick it was recorded at; off-tick
 // timestamps (hand-edited traces) apply at the first tick at or after them.
 func (m *Medium) replayTick(now float64) {
-	trs := m.replay.Transitions
-	for m.replayIdx < len(trs) && trs[m.replayIdx].Time <= now {
-		tr := trs[m.replayIdx]
-		m.replayIdx++
+	for m.replayHas && m.replayNext.Time <= now {
+		tr := m.replayNext
+		m.replayNext, m.replayHas = m.replayCur.Next()
+		if !m.replayChecked {
+			m.checkReplayNodes(tr)
+		}
 		k := key(tr.A, tr.B)
 		switch {
 		case tr.Up && !m.connected[k]:

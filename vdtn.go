@@ -197,8 +197,26 @@ type (
 	// ContactSource selects live scanning, recording, or replay.
 	ContactSource = sim.ContactSource
 	// ContactCache memoizes recorded traces by scenario fingerprint for
-	// the experiment harness (ExperimentOptions.ContactCache).
+	// the experiment harness (ExperimentOptions.ContactCache). With Dir
+	// set it persists traces in a sharded, index-fronted directory; with
+	// Mmap also set it serves them as zero-copy ContactRecordingView
+	// values, and MaxBytes bounds the store with LRU eviction.
 	ContactCache = experiments.ContactCache
+	// ContactReplaySource is a contact trace a replay run can consume:
+	// either an in-memory *ContactRecording or a *ContactRecordingView.
+	// Assign one to Config.ReplaySource (with ContactSource ContactReplay).
+	ContactReplaySource = wireless.ReplaySource
+	// ContactRecordingView is a read-only mmap-backed view of a persisted
+	// binary trace: validated once at open, replayed with zero per-run
+	// trace allocation, shareable across concurrent runs and — through
+	// the page cache — across processes.
+	ContactRecordingView = wireless.RecordingView
+	// ContactRecordingReader streams a binary trace transition by
+	// transition without materializing it (for traces too large to slurp).
+	ContactRecordingReader = wireless.RecordingReader
+	// ContactRecordingMeta is a trace's fixed-size description (scan
+	// interval, horizon, transition count).
+	ContactRecordingMeta = wireless.RecordingMeta
 )
 
 // Contact sources.
@@ -242,6 +260,21 @@ func DecodeContactRecording(data []byte) (*ContactRecording, error) {
 // detected.
 func DecodeContactRecordingLegacy(data []byte, warn func(msg string)) (*ContactRecording, error) {
 	return wireless.DecodeRecordingLegacy(data, warn)
+}
+
+// OpenContactRecordingView memory-maps the binary trace at path and
+// validates it once (CRC32, count, structural rules — everything
+// DecodeContactRecording checks). The returned view replays bit-identically
+// to the decoded recording; Close releases the mapping.
+func OpenContactRecordingView(path string) (*ContactRecordingView, error) {
+	return wireless.OpenRecordingView(path)
+}
+
+// OpenContactRecording opens the binary trace at path for incremental
+// streaming — transitions decode one at a time, integrity-checked, without
+// ever materializing the trace.
+func OpenContactRecording(path string) (*ContactRecordingReader, error) {
+	return wireless.OpenRecording(path)
 }
 
 // RecordingPlan converts a recording into a contact plan (open contacts
