@@ -33,7 +33,11 @@ func runExperiment(b *testing.B, id string) {
 	opt := vdtn.ExperimentOptions{Seeds: []uint64{1}, Scale: benchScale}
 	var tbl vdtn.ExperimentTable
 	for i := 0; i < b.N; i++ {
-		tbl = vdtn.RunExperiment(exp, opt)
+		res, err := vdtn.RunExperimentE(exp, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl = res.DefaultTable()
 	}
 	last := len(exp.Xs) - 1
 	first := tbl.Series[0].Cells[last].Summary.Mean
@@ -126,7 +130,9 @@ func BenchmarkExperimentCached(b *testing.B) {
 		// A fresh cache per iteration: the measurement includes the
 		// recording pass, as a cold harness run would pay it.
 		opt.ContactCache = &vdtn.ContactCache{}
-		vdtn.RunExperiment(exp, opt)
+		if _, err := vdtn.RunExperimentE(exp, opt); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(exp.Scenarios)*len(exp.Xs)), "simruns/op")
 }

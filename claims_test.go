@@ -34,7 +34,11 @@ func runCatalog(t *testing.T, id string) map[string][]float64 {
 	if !ok {
 		t.Fatalf("experiment %s missing", id)
 	}
-	tbl := vdtn.RunExperiment(exp, claimOptions())
+	res, err := vdtn.RunExperimentE(exp, claimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.DefaultTable()
 	out := make(map[string][]float64)
 	for _, s := range tbl.Series {
 		means := make([]float64, len(s.Cells))

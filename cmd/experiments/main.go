@@ -1,5 +1,6 @@
-// Command experiments regenerates the paper's evaluation: each figure of
-// Soares et al. (ICPP 2009) and the ablations listed in DESIGN.md.
+// Command experiments runs sweep experiments: the paper's evaluation —
+// each figure of Soares et al. (ICPP 2009) and the ablations listed in
+// DESIGN.md — plus any user-defined sweep loaded from a JSON spec file.
 //
 // Usage:
 //
@@ -7,27 +8,36 @@
 //	experiments -figure fig4
 //	experiments -figure all -seeds 5 -out results/
 //	experiments -figure fig8 -scale 0.25        # quick shape check
+//	experiments -spec mysweep.json              # run a sweep defined as data
+//	experiments -figure fig5 -metric overhead   # another metric, same sweep
+//	experiments -dump-spec fig5                 # print a figure as a spec file
 //	experiments -figure all -contact-cache      # one mobility sim per seed
 //	experiments -cache-dir traces/ -seeds 5     # persist traces across runs
 //	experiments -figure all -prewarm -seeds 5   # record all traces up front
 //	experiments -cache-dir traces/ -cache-mmap  # zero-copy mapped replay
 //	experiments -cache-dir traces/ -cache-max-mb 256  # LRU-bounded store
 //
-// Tables print to stdout; -out additionally writes one CSV per experiment.
-// -contact-cache records each distinct (scenario, seed) mobility process
-// once and replays it for every series and x cell that shares it — results
-// are bit-identical to uncached runs, several times faster on multi-cell
-// sweeps. -cache-dir additionally persists the traces on disk in the
-// integrity-checked binary format (and implies -contact-cache), laid out
-// as a 2-level sharded directory fronted by an index file; legacy
-// flat-dir and text traces are migrated transparently (or all at once via
-// -migrate-cache). -cache-mmap replays persisted traces through read-only
-// memory-mapped views — concurrent processes share one page-cached copy
-// of each trace, and cells replay with no per-cell trace allocation.
-// -cache-max-mb bounds the store, evicting least-recently-used traces.
-// -prewarm records the traces of every selected experiment in parallel
-// before the first sweep starts, instead of on first touch inside it. A
-// failing cell exits non-zero naming its (series, x, seed) coordinates.
+// Tables print to stdout; -out additionally writes one CSV and one JSON
+// results artifact per experiment (the JSON carries every cell's complete
+// run result, so any metric can be re-rendered without re-running).
+// -spec loads a sweep spec (repeatable) into the same registry as the
+// built-in figures; with -figure left at "all", only the loaded specs
+// run. -metric renders the table under a different metric than the
+// experiment declares. -contact-cache records each distinct (scenario,
+// seed) mobility process once and replays it for every series and x cell
+// that shares it — results are bit-identical to uncached runs, several
+// times faster on multi-cell sweeps. -cache-dir additionally persists the
+// traces on disk in the integrity-checked binary format (and implies
+// -contact-cache), laid out as a 2-level sharded directory fronted by an
+// index file; legacy flat-dir and text traces are migrated transparently
+// (or all at once via -migrate-cache). -cache-mmap replays persisted
+// traces through read-only memory-mapped views — concurrent processes
+// share one page-cached copy of each trace, and cells replay with no
+// per-cell trace allocation. -cache-max-mb bounds the store, evicting
+// least-recently-used traces. -prewarm records the traces of every
+// selected experiment in parallel before the first sweep starts, instead
+// of on first touch inside it. A failing cell exits non-zero naming its
+// (series, x, seed) coordinates.
 package main
 
 import (
@@ -35,19 +45,39 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"vdtn"
 )
 
+// specFlags collects repeatable -spec arguments.
+type specFlags []string
+
+func (s *specFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *specFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
+	var specs specFlags
 	var (
-		figure = flag.String("figure", "all", `experiment id ("fig4".."fig9", "ablation-*", or "all")`)
+		figure = flag.String("figure", "all", `experiment id ("fig4".."fig9", "ablation-*", a loaded spec id, or "all")`)
 		seeds  = flag.Int("seeds", 1, "number of replication seeds (1..n)")
 		scale  = flag.Float64("scale", 1, "duration scale (1 = the paper's 12 h)")
 		work   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		outDir = flag.String("out", "", "directory for CSV output (optional)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		outDir = flag.String("out", "", "directory for CSV + JSON results output (optional)")
+		metric = flag.String("metric", "", "render tables under this metric instead of each experiment's default (see -list-metrics)")
+		list   = flag.Bool("list", false, "list experiment ids (built-ins and loaded specs) and exit")
+		listM  = flag.Bool("list-metrics", false, "list metric and axis names and exit")
+		dump   = flag.String("dump-spec", "", "print the named experiment as a JSON sweep spec and exit")
 		useCC  = flag.Bool("contact-cache", false, "record each (scenario, seed) mobility process once and replay it across cells")
 		ccDir  = flag.String("cache-dir", "", "persist recorded contact traces in this directory (implies -contact-cache)")
 		warm   = flag.Bool("prewarm", false, "pre-record all contact traces across the selected experiments before the first sweep (implies -contact-cache)")
@@ -56,26 +86,88 @@ func main() {
 		ccMax  = flag.Float64("cache-max-mb", 0, "bound the persisted cache directory to this many MB, evicting least-recently-used traces (0 = unbounded)")
 		ccMig  = flag.Bool("migrate-cache", false, "upgrade a legacy flat cache directory to the sharded layout up front (per-trace migration otherwise happens lazily on first touch)")
 	)
+	flag.Var(&specs, "spec", "load a sweep spec file (repeatable); with -figure all, only the loaded specs run")
 	flag.Parse()
 
-	catalog := vdtn.Experiments()
+	registry := vdtn.NewExperimentRegistry()
+	var loaded []vdtn.Experiment
+	for _, path := range specs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		exp, err := vdtn.LoadExperimentSpec(data)
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		if err := registry.Add(exp); err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		loaded = append(loaded, exp)
+	}
+
 	if *list {
-		for _, e := range catalog {
+		for _, e := range registry.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
 		return
 	}
+	if *listM {
+		fmt.Println("metrics:")
+		for _, m := range vdtn.ExperimentMetrics() {
+			fmt.Printf("  %-18s %s\n", string(m), m)
+		}
+		fmt.Println("axes:")
+		for _, a := range vdtn.SweepAxes() {
+			kind := "mobility-invariant (cells share one contact trace)"
+			if a.MovesContacts {
+				kind = "moves contacts (one trace per swept value)"
+			}
+			fmt.Printf("  %-18s %-20s %s\n", a.Name, a.Label, kind)
+		}
+		return
+	}
+	if *dump != "" {
+		e, ok := registry.ByID(*dump)
+		if !ok {
+			fatalf("unknown experiment %q; try -list", *dump)
+		}
+		data, err := vdtn.ExperimentSpecJSON(e)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(data))
+		return
+	}
 
 	var todo []vdtn.Experiment
-	if *figure == "all" {
-		todo = catalog
-	} else {
-		e, ok := vdtn.ExperimentByID(*figure)
+	switch {
+	case *figure != "all":
+		e, ok := registry.ByID(*figure)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; try -list\n", *figure)
 			os.Exit(2)
 		}
 		todo = []vdtn.Experiment{e}
+	case len(loaded) > 0:
+		// Specs were loaded and no explicit figure picked: run the specs,
+		// not the whole catalog behind them.
+		todo = loaded
+	default:
+		todo = registry.Experiments()
+	}
+
+	// A typoed -metric must fail here, in milliseconds — not after the
+	// first multi-seed sweep has burned its wall clock.
+	if *metric != "" {
+		known := false
+		for _, m := range vdtn.ExperimentMetrics() {
+			known = known || string(m) == *metric
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "experiments: unknown metric %q; try -list-metrics\n", *metric)
+			os.Exit(2)
+		}
 	}
 
 	seedList := make([]uint64, *seeds)
@@ -92,8 +184,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: -migrate-cache needs -cache-dir (nothing to migrate without a store)")
 			os.Exit(2)
 		}
-		// One cache across all figures: they sweep the same scenarios, so
-		// later figures replay the traces the first one recorded.
+		// One cache across all experiments: sweeps over the same scenario
+		// replay the traces the first one recorded.
 		opt.ContactCache = &vdtn.ContactCache{
 			Dir:      *ccDir,
 			Mmap:     *ccMmap,
@@ -106,23 +198,25 @@ func main() {
 	if *ccMig {
 		moved, err := opt.ContactCache.MigrateDir()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: cache migration: %v\n", err)
-			os.Exit(1)
+			fatalf("cache migration: %v", err)
 		}
 		fmt.Printf("migrated %d legacy traces into the sharded cache layout\n", moved)
 	}
 
 	if *warm {
 		// Record every distinct trace of every selected experiment up
-		// front, so even the first figure's sweep starts fully warmed.
+		// front, so even the first experiment's sweep starts fully warmed.
 		var cfgs []vdtn.Config
 		for _, e := range todo {
-			cfgs = append(cfgs, vdtn.ExperimentCellConfigs(e, opt)...)
+			cc, err := vdtn.ExperimentCellConfigs(e, opt)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			cfgs = append(cfgs, cc...)
 		}
 		start := time.Now()
 		if err := opt.ContactCache.Prewarm(cfgs, *work); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		fmt.Printf("prewarmed %d contact traces in %v\n\n",
 			opt.ContactCache.Len(), time.Since(start).Round(time.Millisecond))
@@ -133,28 +227,41 @@ func main() {
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 	}
 
 	for _, e := range todo {
 		start := time.Now()
-		tbl, err := vdtn.RunExperimentE(e, opt)
+		res, err := vdtn.RunExperimentE(e, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
+		}
+		m := e.Metric
+		if *metric != "" {
+			m = vdtn.ExperimentMetric(*metric)
+		}
+		tbl, err := res.Table(m)
+		if err != nil {
+			fatalf("%v", err)
 		}
 		fmt.Println(tbl.Render())
 		fmt.Printf("(%d runs in %v)\n\n",
 			len(e.Scenarios)*len(e.Xs)*len(seedList), time.Since(start).Round(time.Millisecond))
 		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+".csv")
-			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
-				os.Exit(1)
+			csvPath := filepath.Join(*outDir, e.ID+".csv")
+			if err := os.WriteFile(csvPath, []byte(tbl.CSV()), 0o644); err != nil {
+				fatalf("writing %s: %v", csvPath, err)
 			}
-			fmt.Printf("wrote %s\n\n", path)
+			artifact, err := res.JSON()
+			if err != nil {
+				fatalf("rendering %s results: %v", e.ID, err)
+			}
+			jsonPath := filepath.Join(*outDir, e.ID+".json")
+			if err := os.WriteFile(jsonPath, append(artifact, '\n'), 0o644); err != nil {
+				fatalf("writing %s: %v", jsonPath, err)
+			}
+			fmt.Printf("wrote %s and %s\n\n", csvPath, jsonPath)
 		}
 	}
 	if opt.ContactCache != nil {

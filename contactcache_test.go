@@ -42,8 +42,12 @@ func TestContactCacheSpeedupArtifact(t *testing.T) {
 	cells := len(exp.Scenarios) * len(exp.Xs) * len(opt.Seeds)
 
 	start := time.Now()
-	plain := vdtn.RunExperiment(exp, opt)
+	plainRes, err := vdtn.RunExperimentE(exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	uncached := time.Since(start)
+	plain := plainRes.DefaultTable()
 
 	// Cached run, persisting the fig5 fleet's traces for the load
 	// comparison below.
@@ -51,10 +55,13 @@ func TestContactCacheSpeedupArtifact(t *testing.T) {
 	cache := &vdtn.ContactCache{Dir: ccDir}
 	opt.ContactCache = cache
 	start = time.Now()
-	cached := vdtn.RunExperiment(exp, opt)
+	cachedRes, err := vdtn.RunExperimentE(exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cachedDur := time.Since(start)
 
-	if !reflect.DeepEqual(plain.Series, cached.Series) {
+	if !reflect.DeepEqual(plain.Series, cachedRes.DefaultTable().Series) {
 		t.Fatal("cached experiment table diverged from the uncached one")
 	}
 
@@ -63,8 +70,11 @@ func TestContactCacheSpeedupArtifact(t *testing.T) {
 	mmapCache := &vdtn.ContactCache{Dir: ccDir, Mmap: true}
 	mopt := opt
 	mopt.ContactCache = mmapCache
-	mapped := vdtn.RunExperiment(exp, mopt)
-	if !reflect.DeepEqual(plain.Series, mapped.Series) {
+	mappedRes, err := vdtn.RunExperimentE(exp, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Series, mappedRes.DefaultTable().Series) {
 		t.Fatal("mmap-served experiment table diverged from the uncached one")
 	}
 	if mmapCache.Recorded() != 0 {
@@ -91,10 +101,14 @@ func TestContactCacheSpeedupArtifact(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			o.ContactCache = &vdtn.ContactCache{}
 			s := time.Now()
-			tbl = vdtn.RunExperiment(exp, o)
+			res, err := vdtn.RunExperimentE(exp, o)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if d := time.Since(s); d < best {
 				best = d
 			}
+			tbl = res.DefaultTable()
 		}
 		return tbl, best
 	}

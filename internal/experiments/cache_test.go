@@ -39,7 +39,7 @@ func cacheExperiment() Experiment {
 	return Experiment{
 		ID:     "cache-test",
 		Title:  "cache test sweep",
-		XLabel: "ttl(min)",
+		Axis:   "ttl_min",
 		Xs:     []float64{10, 15, 20},
 		Metric: MetricDeliveryProb,
 		Scenarios: []Scenario{
@@ -47,7 +47,6 @@ func cacheExperiment() Experiment {
 			{Name: "Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
 			{Name: "SprayAndWait", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
 		},
-		Apply: applyTTL,
 	}
 }
 
@@ -402,11 +401,11 @@ func TestPrewarmRecordsInParallelOnce(t *testing.T) {
 		t.Fatalf("prewarm held %d traces over %d passes, want 3 over 3", cache.Len(), cache.Recorded())
 	}
 	// The sweep itself now only hits.
-	tbl, err := RunE(cacheExperiment(), Options{Seeds: []uint64{1, 2, 3}, BaseConfig: cacheConfig, ContactCache: cache})
+	res, err := RunE(cacheExperiment(), Options{Seeds: []uint64{1, 2, 3}, BaseConfig: cacheConfig, ContactCache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Series) != 3 {
+	if tbl := res.DefaultTable(); len(tbl.Series) != 3 {
 		t.Fatalf("series = %d, want 3", len(tbl.Series))
 	}
 	if cache.Recorded() != 3 {
@@ -480,24 +479,19 @@ func TestPrewarmSkipsUncacheableConfigs(t *testing.T) {
 // that into a panic for legacy callers.
 func TestRunEReportsCellCoordinates(t *testing.T) {
 	exp := cacheExperiment()
-	// x=15 produces an invalid config; the other cells stay healthy.
-	exp.Apply = func(c *sim.Config, x float64) {
-		if x == 15 {
-			c.TTL = -1
-		} else {
-			c.TTL = units.Minutes(x)
-		}
-	}
+	// x=-15 produces an invalid config (negative TTL); the other cells
+	// stay healthy.
+	exp.Xs = []float64{10, -15, 20}
 	for name, cache := range map[string]*ContactCache{"plain": nil, "cached": {}} {
 		t.Run(name, func(t *testing.T) {
 			_, err := RunE(exp, Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig, ContactCache: cache})
 			if err == nil {
 				t.Fatal("invalid cell did not fail the run")
 			}
-			// Every invalid cell sits at x=15; which series/seed loses the
+			// Every invalid cell sits at x=-15; which series/seed loses the
 			// race to fail first is scheduling-dependent, but the error
 			// must carry all three coordinates.
-			for _, want := range []string{`series "`, "x=15", "seed "} {
+			for _, want := range []string{`series "`, "x=-15", "seed "} {
 				if !strings.Contains(err.Error(), want) {
 					t.Fatalf("error %q does not name %q", err, want)
 				}
@@ -521,19 +515,21 @@ func TestRunELazyMatchesPrewarmed(t *testing.T) {
 	lazy := base
 	lazy.ContactCache = &ContactCache{}
 	lazy.LazyRecord = true
-	lazyTbl, err := RunE(exp, lazy)
+	lazyRes, err := RunE(exp, lazy)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	warm := base
 	warm.ContactCache = &ContactCache{}
-	warmTbl, err := RunE(exp, warm)
+	warmRes, err := RunE(exp, warm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(lazyTbl.Series, warmTbl.Series) {
-		t.Fatal("prewarmed table diverged from the lazy one")
+	// Full-Result equality, cell for cell — stronger than comparing one
+	// metric's table.
+	if !reflect.DeepEqual(lazyRes.Cells, warmRes.Cells) {
+		t.Fatal("prewarmed results diverged from the lazy ones")
 	}
 	if lazy.ContactCache.Recorded() != warm.ContactCache.Recorded() {
 		t.Fatalf("recording passes differ: lazy %d, prewarmed %d",
@@ -545,7 +541,10 @@ func TestRunELazyMatchesPrewarmed(t *testing.T) {
 // seed) combination in aggregation order.
 func TestCellConfigs(t *testing.T) {
 	exp := cacheExperiment()
-	cfgs := CellConfigs(exp, Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig})
+	cfgs, err := CellConfigs(exp, Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := len(exp.Scenarios) * len(exp.Xs) * 2; len(cfgs) != want {
 		t.Fatalf("CellConfigs returned %d configs, want %d", len(cfgs), want)
 	}

@@ -1,69 +1,60 @@
-// Package experiments defines and runs the paper's evaluation: one
-// Experiment per figure (and per ablation), a parallel multi-seed runner,
-// and table/CSV rendering of the results.
+// Package experiments defines and runs sweep experiments: the paper's
+// evaluation figures, the DESIGN.md ablations, and any user-defined sweep
+// expressed on the same vocabulary — a parallel multi-seed runner over a
+// (series × axis-value × seed) cell grid, a full-Result store per cell,
+// and table/CSV/JSON rendering of any metric view.
 //
-// Every experiment is a family of scenarios (series) swept over an x-axis
-// (message TTL for the paper's figures; link rate, buffer size, copy
-// budget or relay count for the ablations). Each (series, x, seed) cell is
-// one full simulation run; cells are independent, so the runner fans them
-// out over a worker pool and aggregates per-cell replications into mean ±
-// 95% CI.
+// Every experiment is a family of scenarios (series) swept over one named
+// axis (message TTL for the paper's figures; link rate, buffer size, copy
+// budget, fleet or relay count for the ablations — see scenario.Axes).
+// Each (series, x, seed) cell is one full simulation run; cells are
+// independent, so the runner fans them out over a worker pool. The
+// complete sim.Result of every cell is kept (Results); per-cell
+// replications aggregate into mean ± 95% CI under whichever metric a
+// Table view selects.
+//
+// Experiments are data, not code: an Experiment is fully described by
+// axis names, values and settings, so it round-trips through the scenario
+// JSON schema (LoadSpec/Spec) and new sweeps ship as files instead of
+// catalog edits.
 package experiments
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
+	"vdtn/internal/scenario"
 	"vdtn/internal/sim"
-	"vdtn/internal/stats"
-	"vdtn/internal/units"
 )
 
-// Metric selects which run metric an experiment reports.
-type Metric int
-
-// Metrics the figures plot.
-const (
-	// MetricAvgDelayMin is the message average delay in minutes
-	// (Figures 4, 6, 9).
-	MetricAvgDelayMin Metric = iota
-	// MetricDeliveryProb is the message delivery probability
-	// (Figures 5, 7, 8).
-	MetricDeliveryProb
-	// MetricOverhead is the transfer overhead ratio (ablations).
-	MetricOverhead
-)
-
-// String names the metric for table headers.
-func (m Metric) String() string {
-	switch m {
-	case MetricAvgDelayMin:
-		return "average delay (minutes)"
-	case MetricDeliveryProb:
-		return "delivery probability"
-	case MetricOverhead:
-		return "overhead ratio"
-	default:
-		return fmt.Sprintf("Metric(%d)", int(m))
-	}
+// Setting is one fixed, declarative config assignment: the named axis is
+// applied with the value. Settings replace the opaque Apply/Mutate
+// closures of the pre-spec harness, so a cell's full configuration is
+// serializable and participates in scenario.ContactFingerprint.
+type Setting struct {
+	Axis  string  `json:"axis"`
+	Value float64 `json:"value"`
 }
 
-// value extracts the metric from a run result.
-func (m Metric) value(r sim.Result) float64 {
-	switch m {
-	case MetricAvgDelayMin:
-		return r.AvgDelay / 60
-	case MetricDeliveryProb:
-		return r.DeliveryProbability
-	case MetricOverhead:
-		return r.OverheadRatio
-	default:
-		panic(fmt.Sprintf("experiments: unknown metric %d", int(m)))
+// apply looks the axis up and writes the value into the config.
+func (s Setting) apply(c *sim.Config) error {
+	a, ok := scenario.AxisByName(s.Axis)
+	if !ok {
+		return fmt.Errorf("unknown axis %q (known: %v)", s.Axis, axisNames())
 	}
+	a.Apply(c, s.Value)
+	return nil
+}
+
+func axisNames() []string {
+	var names []string
+	for _, a := range scenario.Axes() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // Scenario is one series in an experiment.
@@ -73,26 +64,62 @@ type Scenario struct {
 	// Protocol and Policy select routing.
 	Protocol sim.ProtocolKind
 	Policy   sim.PolicyKind
-	// Mutate optionally adjusts the config after the x-value is applied.
-	Mutate func(*sim.Config)
+	// Set holds per-series fixed axis settings, applied after the swept
+	// value (the declarative successor of the old Mutate closure).
+	Set []Setting
 }
 
-// Experiment is one reproducible figure or ablation.
+// Experiment is one reproducible sweep: a figure, an ablation, or a
+// user-defined spec.
 type Experiment struct {
-	// ID is the handle used by the CLI and benchmarks ("fig4", ...).
+	// ID is the handle used by the CLI, specs and benchmarks ("fig4", ...).
 	ID string
-	// Title describes what the paper figure shows.
+	// Title describes what the sweep shows.
 	Title string
-	// XLabel names the swept parameter.
-	XLabel string
+	// Axis names the swept parameter (scenario.AxisByName); its label
+	// heads the x column of rendered tables.
+	Axis string
 	// Xs are the swept values, in plot order.
 	Xs []float64
-	// Metric is the reported metric.
+	// Metric is the default reported metric; any other metric can be
+	// rendered from the finished Results.
 	Metric Metric
+	// Set holds experiment-wide fixed axis settings, applied to every
+	// cell before the swept value (e.g. pinning ttl_min=120 in a non-TTL
+	// ablation).
+	Set []Setting
 	// Scenarios are the series.
 	Scenarios []Scenario
-	// Apply writes one x value into a config (e.g. sets the TTL).
-	Apply func(c *sim.Config, x float64)
+	// Base, when non-nil, supplies the scenario template for this
+	// experiment (spec files carry their base scenario here). Nil falls
+	// back to Options.BaseConfig, then sim.DefaultConfig.
+	Base func() sim.Config
+
+	// baseSpec preserves the scenario file a spec-loaded experiment came
+	// from (sweep/series blocks cleared), so Spec re-emits the base
+	// scenario fields and the dump → edit → reload workflow round-trips
+	// losslessly. Nil for Go-defined experiments, whose base is either
+	// the paper defaults or a code-supplied Base/Options.BaseConfig.
+	baseSpec *scenario.File
+}
+
+// validate reports the first structural problem that would make every
+// cell fail, so RunE rejects a malformed experiment before burning a
+// sweep's wall clock on it.
+func (e Experiment) validate() error {
+	if len(e.Xs) == 0 {
+		return fmt.Errorf("experiments: %s sweeps no values", e.ID)
+	}
+	if len(e.Scenarios) == 0 {
+		return fmt.Errorf("experiments: %s has no series", e.ID)
+	}
+	if _, ok := scenario.AxisByName(e.Axis); !ok {
+		return fmt.Errorf("experiments: %s: unknown axis %q (known: %v)", e.ID, e.Axis, axisNames())
+	}
+	if err := e.Metric.valid(); err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	return nil
 }
 
 // Options controls a run of the harness.
@@ -106,8 +133,9 @@ type Options struct {
 	// Benchmarks use a smaller scale; the shape of the results is
 	// preserved, absolute delays shrink with the horizon.
 	Scale float64
-	// BaseConfig supplies the scenario template; nil defaults to
-	// sim.DefaultConfig (the paper scenario).
+	// BaseConfig supplies the scenario template; nil falls back to the
+	// experiment's own Base (spec files), then sim.DefaultConfig (the
+	// paper scenario).
 	BaseConfig func() sim.Config
 	// ContactCache, when non-nil, records each distinct (scenario, seed)
 	// mobility process once and replays it for every cell that shares it,
@@ -135,29 +163,19 @@ func (o Options) normalized() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
-	if o.BaseConfig == nil {
-		o.BaseConfig = sim.DefaultConfig
-	}
 	return o
 }
 
-// Cell is the aggregated outcome of one (series, x) point.
-type Cell struct {
-	X       float64
-	Summary stats.Summary
-}
-
-// Series is one aggregated line of an experiment.
-type Series struct {
-	Name  string
-	Cells []Cell
-}
-
-// Table is a completed experiment.
-type Table struct {
-	Experiment Experiment
-	Options    Options
-	Series     []Series
+// base resolves the scenario template for exp: explicit Options override,
+// then the experiment's own base (spec files), then the paper scenario.
+func (o Options) base(exp Experiment) func() sim.Config {
+	if o.BaseConfig != nil {
+		return o.BaseConfig
+	}
+	if exp.Base != nil {
+		return exp.Base
+	}
+	return sim.DefaultConfig
 }
 
 // job identifies one (series, x, seed) cell of a sweep.
@@ -181,10 +199,11 @@ func cellJobs(exp Experiment, opt Options) []job {
 }
 
 // cellConfig materializes one cell's full configuration: base template,
-// scale, series protocol/policy, seed, then the x value and the series
-// mutation.
-func cellConfig(exp Experiment, opt Options, j job) sim.Config {
-	cfg := opt.BaseConfig()
+// scale, series protocol/policy, seed, the experiment-wide settings, the
+// swept axis value, then the series settings. Unknown axes surface here,
+// so RunE reports them with the failing cell's coordinates.
+func cellConfig(exp Experiment, opt Options, j job) (sim.Config, error) {
+	cfg := opt.base(exp)()
 	cfg.Duration *= opt.Scale
 	if cfg.MessageGenEnd > 0 {
 		cfg.MessageGenEnd *= opt.Scale
@@ -193,11 +212,20 @@ func cellConfig(exp Experiment, opt Options, j job) sim.Config {
 	cfg.Protocol = sc.Protocol
 	cfg.Policy = sc.Policy
 	cfg.Seed = j.seed
-	exp.Apply(&cfg, exp.Xs[j.xi])
-	if sc.Mutate != nil {
-		sc.Mutate(&cfg)
+	for _, s := range exp.Set {
+		if err := s.apply(&cfg); err != nil {
+			return sim.Config{}, err
+		}
 	}
-	return cfg
+	if err := (Setting{Axis: exp.Axis, Value: exp.Xs[j.xi]}).apply(&cfg); err != nil {
+		return sim.Config{}, err
+	}
+	for _, s := range sc.Set {
+		if err := s.apply(&cfg); err != nil {
+			return sim.Config{}, err
+		}
+	}
+	return cfg, nil
 }
 
 // cellErrorf wraps a cell failure with its (series, x, seed) coordinates,
@@ -207,71 +235,84 @@ func cellErrorf(exp Experiment, j job, err error) error {
 		exp.ID, exp.Scenarios[j.scenario].Name, exp.Xs[j.xi], j.seed, err)
 }
 
-// runCell executes one (series, x, seed) cell. Panics out of the
-// simulation stack are converted into errors, so a worker goroutine never
-// kills the whole sweep — the cell is reported with its coordinates by
-// RunE instead.
-func runCell(exp Experiment, opt Options, j job) (v float64, err error) {
+// runCell executes one (series, x, seed) cell and returns its complete
+// result. Panics out of the simulation stack are converted into errors,
+// so a worker goroutine never kills the whole sweep — the cell is
+// reported with its coordinates by RunE instead.
+func runCell(exp Experiment, opt Options, j job) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	cfg := cellConfig(exp, opt, j)
-	// The fingerprint is taken after Apply/Mutate, so sweeps that move
-	// mobility inputs (fleet size, map) key their cells correctly and only
-	// contact-identical cells share a trace. Source hands back either the
-	// shared in-memory recording or, with ContactCache.Mmap, a zero-copy
-	// mmap view every cell (and process) replays from the page cache.
+	cfg, err := cellConfig(exp, opt, j)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	// The fingerprint is taken after the axis settings are applied, so
+	// sweeps that move mobility inputs (fleet size, map) key their cells
+	// correctly and only contact-identical cells share a trace. Source
+	// hands back either the shared in-memory recording or, with
+	// ContactCache.Mmap, a zero-copy mmap view every cell (and process)
+	// replays from the page cache.
 	if opt.ContactCache != nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
 		src, rerr := opt.ContactCache.Source(cfg)
 		if rerr != nil {
-			return 0, rerr
+			return sim.Result{}, rerr
 		}
 		cfg.ContactSource = sim.ContactReplay
 		cfg.ReplaySource = src
 	}
 	w, nerr := sim.New(cfg)
 	if nerr != nil {
-		return 0, nerr
+		return sim.Result{}, nerr
 	}
-	return exp.Metric.value(w.Run()), nil
+	return w.Run(), nil
 }
 
 // CellConfigs returns the fully materialized configuration of every
 // (series, x, seed) cell of the sweep, in aggregation order — what
 // ContactCache.Prewarm wants when pre-recording traces across several
 // experiments before any of them runs.
-func CellConfigs(exp Experiment, opt Options) []sim.Config {
+func CellConfigs(exp Experiment, opt Options) ([]sim.Config, error) {
 	opt = opt.normalized()
 	jobs := cellJobs(exp, opt)
 	cfgs := make([]sim.Config, len(jobs))
 	for i, j := range jobs {
-		cfgs[i] = cellConfig(exp, opt, j)
+		cfg, err := cellConfig(exp, opt, j)
+		if err != nil {
+			return nil, cellErrorf(exp, j, err)
+		}
+		cfgs[i] = cfg
 	}
-	return cfgs
+	return cfgs, nil
 }
 
-// Run executes the experiment under opt and aggregates the results. It is
-// a thin wrapper over RunE that panics on a cell error; call RunE to
-// handle failures (a bad map, an invalid swept value, an unusable cache
-// entry) without killing the process.
+// Run executes the experiment under opt and renders its default metric
+// table. It is a thin wrapper over RunE that panics on an error; call
+// RunE to handle failures (a bad map, an invalid swept value, an unknown
+// axis or metric, an unusable cache entry) without killing the process.
 func Run(exp Experiment, opt Options) Table {
-	t, err := RunE(exp, opt)
+	res, err := RunE(exp, opt)
 	if err != nil {
 		panic(err.Error())
 	}
-	return t
+	return res.DefaultTable()
 }
 
-// RunE executes the experiment under opt and aggregates the results. Cells
-// run on a worker pool; the first failing cell (in aggregation order)
-// aborts the table and is reported with its (series, x, seed) coordinates.
-// When opt.ContactCache is set, the distinct contact traces the sweep
-// needs are recorded by a parallel prewarm pool running alongside the
-// cell workers (see Options.LazyRecord to disable).
-func RunE(exp Experiment, opt Options) (Table, error) {
+// RunE executes the experiment under opt and stores every cell's complete
+// sim.Result. Cells run on a worker pool; the first failing cell (in
+// aggregation order) aborts the sweep and is reported with its (series,
+// x, seed) coordinates. A structurally bad experiment (unknown axis or
+// metric, empty sweep) is rejected before any cell runs. When
+// opt.ContactCache is set, the distinct contact traces the sweep needs
+// are recorded by a parallel prewarm pool running alongside the cell
+// workers (see Options.LazyRecord to disable).
+func RunE(exp Experiment, opt Options) (*Results, error) {
 	opt = opt.normalized()
+	if err := exp.validate(); err != nil {
+		return nil, err
+	}
 	jobs := cellJobs(exp, opt)
 
 	// Warm the cache concurrently with cell execution: the prewarm pool
@@ -289,7 +330,9 @@ func RunE(exp Experiment, opt Options) (Table, error) {
 	if opt.ContactCache != nil && !opt.LazyRecord {
 		var cfgs []sim.Config
 		for _, j := range jobs {
-			if cfg := cellConfig(exp, opt, j); cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
+			// A cell whose config cannot materialize is skipped here; its
+			// worker reports the error with full coordinates below.
+			if cfg, err := cellConfig(exp, opt, j); err == nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
 				cfgs = append(cfgs, cfg)
 			}
 		}
@@ -300,7 +343,7 @@ func RunE(exp Experiment, opt Options) (Table, error) {
 		}()
 	}
 
-	results := make([]float64, len(jobs))
+	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
 
 	var wg sync.WaitGroup
@@ -310,20 +353,20 @@ func RunE(exp Experiment, opt Options) (Table, error) {
 		go func() {
 			defer wg.Done()
 			for ji := range next {
-				// After the first failure the table is dead either way, so
+				// After the first failure the sweep is dead either way, so
 				// remaining cells are drained, not simulated — a bad first
 				// cell must not cost the whole sweep's wall clock.
 				if failed.Load() {
 					continue
 				}
 				j := jobs[ji]
-				v, err := runCell(exp, opt, j)
+				r, err := runCell(exp, opt, j)
 				if err != nil {
 					errs[ji] = cellErrorf(exp, j, err)
 					failed.Store(true)
 					continue
 				}
-				results[ji] = v
+				results[ji] = r
 			}
 		}()
 	}
@@ -342,92 +385,20 @@ func RunE(exp Experiment, opt Options) (Table, error) {
 
 	for _, err := range errs {
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 	}
 
-	// Aggregate deterministically.
-	t := Table{Experiment: exp, Options: opt}
-	perSeed := len(opt.Seeds)
-	perX := len(exp.Xs) * perSeed
-	for si, sc := range exp.Scenarios {
-		s := Series{Name: sc.Name}
-		for xi, x := range exp.Xs {
-			base := si*perX + xi*perSeed
-			xs := make([]float64, perSeed)
-			copy(xs, results[base:base+perSeed])
-			s.Cells = append(s.Cells, Cell{X: x, Summary: stats.Summarize(xs)})
-		}
-		t.Series = append(t.Series, s)
-	}
-	return t, nil
-}
-
-// Render returns an aligned text table: one row per x value, one column
-// per series, cells "mean±ci" (ci omitted for single-seed runs).
-func (t Table) Render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s: %s — %s\n", t.Experiment.ID, t.Experiment.Title, t.Experiment.Metric)
-	if t.Options.Scale != 1 {
-		fmt.Fprintf(&sb, "(scaled run: %.0f%% of the paper's 12 h horizon)\n", t.Options.Scale*100)
-	}
-
-	cols := []string{t.Experiment.XLabel}
-	for _, s := range t.Series {
-		cols = append(cols, s.Name)
-	}
-	rows := [][]string{cols}
-	for xi, x := range t.Experiment.Xs {
-		row := []string{trimFloat(x)}
-		for _, s := range t.Series {
-			c := s.Cells[xi]
-			if c.Summary.N > 1 {
-				row = append(row, fmt.Sprintf("%.3f±%.3f", c.Summary.Mean, c.Summary.CI95()))
-			} else {
-				row = append(row, fmt.Sprintf("%.3f", c.Summary.Mean))
-			}
-		}
-		rows = append(rows, row)
-	}
-
-	widths := make([]int, len(cols))
-	for _, row := range rows {
-		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
+	res := &Results{Experiment: exp, Options: opt, Cells: make([]CellResult, len(jobs))}
+	for i, j := range jobs {
+		res.Cells[i] = CellResult{
+			Series: exp.Scenarios[j.scenario].Name,
+			X:      exp.Xs[j.xi],
+			Seed:   j.seed,
+			Result: results[i],
 		}
 	}
-	for _, row := range rows {
-		for i, cell := range row {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
-		}
-		sb.WriteString("\n")
-	}
-	return sb.String()
-}
-
-// CSV returns the table in long form:
-// experiment,x,series,mean,ci95,n — one row per cell.
-func (t Table) CSV() string {
-	var sb strings.Builder
-	sb.WriteString("experiment,x,series,mean,ci95,n\n")
-	for _, s := range t.Series {
-		for _, c := range s.Cells {
-			fmt.Fprintf(&sb, "%s,%s,%s,%.6f,%.6f,%d\n",
-				t.Experiment.ID, trimFloat(c.X), s.Name, c.Summary.Mean, c.Summary.CI95(), c.Summary.N)
-		}
-	}
-	return sb.String()
-}
-
-func trimFloat(x float64) string {
-	s := fmt.Sprintf("%.2f", x)
-	s = strings.TrimRight(s, "0")
-	return strings.TrimRight(s, ".")
+	return res, nil
 }
 
 // --- catalog ---------------------------------------------------------------
@@ -435,7 +406,8 @@ func trimFloat(x float64) string {
 // paperTTLs are the TTL sweep points of every figure, in minutes.
 var paperTTLs = []float64{60, 90, 120, 150, 180}
 
-func applyTTL(c *sim.Config, ttlMin float64) { c.TTL = units.Minutes(ttlMin) }
+// ttl120 pins the ablations' message lifetime at the paper's central TTL.
+var ttl120 = []Setting{{Axis: "ttl_min", Value: 120}}
 
 // tableIPolicies are the paper's Table I series, applied to proto.
 func tableIPolicies(proto sim.ProtocolKind) []Scenario {
@@ -457,128 +429,110 @@ func protocolScenarios() []Scenario {
 	}
 }
 
-// Catalog returns every reproducible experiment: the paper's six figures
-// and the four ablations DESIGN.md §5 calls out.
+// Catalog returns every built-in experiment — the paper's six figures and
+// the ablations DESIGN.md §5 calls out — expressed on the named axes, so
+// each round-trips through the sweep spec schema unchanged (see Spec).
 func Catalog() []Experiment {
 	return []Experiment{
 		{
 			ID:        "fig4",
 			Title:     "Message average delay, Epidemic routing (paper Fig. 4)",
-			XLabel:    "ttl(min)",
+			Axis:      "ttl_min",
 			Xs:        paperTTLs,
 			Metric:    MetricAvgDelayMin,
 			Scenarios: tableIPolicies(sim.ProtoEpidemic),
-			Apply:     applyTTL,
 		},
 		{
 			ID:        "fig5",
 			Title:     "Message delivery probability, Epidemic routing (paper Fig. 5)",
-			XLabel:    "ttl(min)",
+			Axis:      "ttl_min",
 			Xs:        paperTTLs,
 			Metric:    MetricDeliveryProb,
 			Scenarios: tableIPolicies(sim.ProtoEpidemic),
-			Apply:     applyTTL,
 		},
 		{
 			ID:        "fig6",
 			Title:     "Message average delay, Spray and Wait routing (paper Fig. 6)",
-			XLabel:    "ttl(min)",
+			Axis:      "ttl_min",
 			Xs:        paperTTLs,
 			Metric:    MetricAvgDelayMin,
 			Scenarios: tableIPolicies(sim.ProtoSprayAndWait),
-			Apply:     applyTTL,
 		},
 		{
 			ID:        "fig7",
 			Title:     "Message delivery probability, Spray and Wait routing (paper Fig. 7)",
-			XLabel:    "ttl(min)",
+			Axis:      "ttl_min",
 			Xs:        paperTTLs,
 			Metric:    MetricDeliveryProb,
 			Scenarios: tableIPolicies(sim.ProtoSprayAndWait),
-			Apply:     applyTTL,
 		},
 		{
 			ID:        "fig8",
 			Title:     "Delivery probability: Epidemic, SprayAndWait, MaxProp, PRoPHET (paper Fig. 8)",
-			XLabel:    "ttl(min)",
+			Axis:      "ttl_min",
 			Xs:        paperTTLs,
 			Metric:    MetricDeliveryProb,
 			Scenarios: protocolScenarios(),
-			Apply:     applyTTL,
 		},
 		{
 			ID:        "fig9",
 			Title:     "Message average delay: Epidemic, SprayAndWait, MaxProp, PRoPHET (paper Fig. 9)",
-			XLabel:    "ttl(min)",
+			Axis:      "ttl_min",
 			Xs:        paperTTLs,
 			Metric:    MetricAvgDelayMin,
 			Scenarios: protocolScenarios(),
-			Apply:     applyTTL,
 		},
 		{
 			ID:     "ablation-rate",
 			Title:  "Constrained link rate reinforces the policy impact (paper §III.C conjecture)",
-			XLabel: "rate(Mbit/s)",
+			Axis:   "rate_mbit",
 			Xs:     []float64{0.5, 1, 2, 4, 6},
 			Metric: MetricAvgDelayMin,
+			Set:    ttl120,
 			Scenarios: []Scenario{
 				{Name: "Epidemic/FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
 				{Name: "Epidemic/Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
-			},
-			Apply: func(c *sim.Config, mbit float64) {
-				c.TTL = units.Minutes(120)
-				c.Rate = units.Mbit(mbit)
 			},
 		},
 		{
 			ID:     "ablation-buffer",
 			Title:  "Buffer pressure and the dropping policy",
-			XLabel: "buffer(MB)",
+			Axis:   "buffer_mb",
 			Xs:     []float64{10, 25, 50, 100, 200},
 			Metric: MetricDeliveryProb,
+			Set:    ttl120,
 			Scenarios: []Scenario{
 				{Name: "Epidemic/FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
 				{Name: "Epidemic/Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
-			},
-			Apply: func(c *sim.Config, mb float64) {
-				c.TTL = units.Minutes(120)
-				c.VehicleBuffer = units.MB(mb)
-				c.RelayBuffer = units.MB(5 * mb)
 			},
 		},
 		{
 			ID:     "ablation-copies",
 			Title:  "Spray and Wait copy budget N (paper fixes N=12)",
-			XLabel: "copies",
+			Axis:   "copies",
 			Xs:     []float64{2, 4, 8, 12, 16, 24},
 			Metric: MetricDeliveryProb,
+			Set:    ttl120,
 			Scenarios: []Scenario{
 				{Name: "SprayAndWait/Lifetime", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
-			},
-			Apply: func(c *sim.Config, n float64) {
-				c.TTL = units.Minutes(120)
-				c.SprayCopies = int(n)
 			},
 		},
 		{
 			ID:     "ablation-fleet",
 			Title:  "Vehicle density: contact opportunities vs buffer contention",
-			XLabel: "vehicles",
+			Axis:   "vehicles",
 			Xs:     []float64{10, 20, 40, 60, 80},
 			Metric: MetricDeliveryProb,
+			Set:    ttl120,
 			Scenarios: []Scenario{
 				{Name: "Epidemic/Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
 				{Name: "SprayAndWait/Lifetime", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
-			},
-			Apply: func(c *sim.Config, n float64) {
-				c.TTL = units.Minutes(120)
-				c.Vehicles = int(n)
 			},
 		},
 		{
 			ID:     "ext-policies",
 			Title:  "Extended literature policies vs Table I (framework extension)",
-			XLabel: "ttl(min)",
+			Axis:   "ttl_min",
 			Xs:     []float64{60, 120, 180},
 			Metric: MetricDeliveryProb,
 			Scenarios: []Scenario{
@@ -588,26 +542,22 @@ func Catalog() []Experiment {
 				{Name: "HopASC-MOFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyHopMOFO},
 				{Name: "FIFO-OldestAge", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOOldestAge},
 			},
-			Apply: applyTTL,
 		},
 		{
 			ID:     "ablation-relays",
 			Title:  "Stationary relay nodes increase contact opportunities (paper Fig. 1 motivation)",
-			XLabel: "relays",
+			Axis:   "relays",
 			Xs:     []float64{0, 2, 5, 8, 10},
 			Metric: MetricDeliveryProb,
+			Set:    ttl120,
 			Scenarios: []Scenario{
 				{Name: "SprayAndWait/Lifetime", Protocol: sim.ProtoSprayAndWait, Policy: sim.PolicyLifetime},
-			},
-			Apply: func(c *sim.Config, n float64) {
-				c.TTL = units.Minutes(120)
-				c.Relays = int(n)
 			},
 		},
 	}
 }
 
-// ByID finds an experiment in the catalog.
+// ByID finds an experiment in the built-in catalog.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range Catalog() {
 		if e.ID == id {

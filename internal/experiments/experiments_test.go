@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vdtn/internal/roadmap"
+	"vdtn/internal/scenario"
 	"vdtn/internal/sim"
 	"vdtn/internal/units"
 )
@@ -26,14 +27,13 @@ func tinyExperiment() Experiment {
 	return Experiment{
 		ID:     "tiny",
 		Title:  "harness test",
-		XLabel: "ttl(min)",
+		Axis:   "ttl_min",
 		Xs:     []float64{10, 20},
 		Metric: MetricDeliveryProb,
 		Scenarios: []Scenario{
 			{Name: "FIFO-FIFO", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyFIFOFIFO},
 			{Name: "Lifetime", Protocol: sim.ProtoEpidemic, Policy: sim.PolicyLifetime},
 		},
-		Apply: func(c *sim.Config, x float64) { c.TTL = units.Minutes(x) },
 	}
 }
 
@@ -44,15 +44,18 @@ func TestCatalogIntegrity(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, e := range cat {
-		if e.ID == "" || e.Title == "" || e.XLabel == "" {
+		if e.ID == "" || e.Title == "" {
 			t.Fatalf("experiment %+v missing identification", e)
 		}
 		if seen[e.ID] {
 			t.Fatalf("duplicate experiment id %q", e.ID)
 		}
 		seen[e.ID] = true
-		if len(e.Xs) == 0 || len(e.Scenarios) == 0 || e.Apply == nil {
-			t.Fatalf("experiment %s incomplete", e.ID)
+		if err := e.validate(); err != nil {
+			t.Fatalf("experiment %s invalid: %v", e.ID, err)
+		}
+		if _, ok := scenario.AxisByName(e.Axis); !ok {
+			t.Fatalf("experiment %s sweeps unregistered axis %q", e.ID, e.Axis)
 		}
 	}
 	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
@@ -68,6 +71,9 @@ func TestPaperFiguresUsePaperTTLs(t *testing.T) {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("missing %s", id)
+		}
+		if e.Axis != "ttl_min" {
+			t.Fatalf("%s sweeps axis %q, want ttl_min", id, e.Axis)
 		}
 		if len(e.Xs) != len(want) {
 			t.Fatalf("%s sweeps %v, want %v", id, e.Xs, want)
@@ -103,14 +109,58 @@ func TestMetricValues(t *testing.T) {
 	r.AvgDelay = 600
 	r.DeliveryProbability = 0.5
 	r.OverheadRatio = 3
-	if got := MetricAvgDelayMin.value(r); got != 10 {
-		t.Fatalf("delay metric = %v, want 10 minutes", got)
+	r.MeanBufferOccupancy = 0.25
+	r.TransfersCompleted = 7
+	for m, want := range map[Metric]float64{
+		MetricAvgDelayMin:     10,
+		MetricDeliveryProb:    0.5,
+		MetricOverhead:        3,
+		MetricBufferOccupancy: 0.25,
+		MetricTransfers:       7,
+	} {
+		got, err := m.Value(r)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != want {
+			t.Fatalf("%s = %v, want %v", m, got, want)
+		}
 	}
-	if got := MetricDeliveryProb.value(r); got != 0.5 {
-		t.Fatalf("prob metric = %v", got)
+}
+
+// TestUnknownMetricIsErrorNotPanic pins the satellite fix: an unknown
+// metric travels RunE's error path instead of panicking a worker.
+func TestUnknownMetricIsErrorNotPanic(t *testing.T) {
+	if _, err := Metric("nonsense").Value(sim.Result{}); err == nil {
+		t.Fatal("unknown metric extracted a value")
 	}
-	if got := MetricOverhead.value(r); got != 3 {
-		t.Fatalf("overhead metric = %v", got)
+	exp := tinyExperiment()
+	exp.Metric = "nonsense"
+	if _, err := RunE(exp, Options{BaseConfig: tinyBase}); err == nil || !strings.Contains(err.Error(), "nonsense") {
+		t.Fatalf("RunE error = %v, want unknown-metric", err)
+	}
+	res, err := RunE(tinyExperiment(), Options{BaseConfig: tinyBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Table("nonsense"); err == nil {
+		t.Fatal("Table rendered an unknown metric")
+	}
+}
+
+// TestUnknownAxisIsError: a bad axis name is rejected before any cell
+// runs, and settings with bad axes surface through the cell error path.
+func TestUnknownAxisIsError(t *testing.T) {
+	exp := tinyExperiment()
+	exp.Axis = "warp_factor"
+	if _, err := RunE(exp, Options{BaseConfig: tinyBase}); err == nil || !strings.Contains(err.Error(), "warp_factor") {
+		t.Fatalf("RunE error = %v, want unknown-axis", err)
+	}
+	exp = tinyExperiment()
+	exp.Scenarios[0].Set = []Setting{{Axis: "warp_factor", Value: 9}}
+	_, err := RunE(exp, Options{BaseConfig: tinyBase})
+	if err == nil || !strings.Contains(err.Error(), "warp_factor") || !strings.Contains(err.Error(), "series") {
+		t.Fatalf("RunE error = %v, want unknown-axis with cell coordinates", err)
 	}
 }
 
@@ -133,6 +183,73 @@ func TestRunAggregates(t *testing.T) {
 			if c.Summary.Mean < 0 || c.Summary.Mean > 1 {
 				t.Fatalf("delivery probability %v out of range", c.Summary.Mean)
 			}
+		}
+	}
+}
+
+// TestResultsKeepFullCells: every cell carries the complete sim.Result,
+// and any metric view renders from the same finished sweep.
+func TestResultsKeepFullCells(t *testing.T) {
+	exp := tinyExperiment()
+	opt := Options{Seeds: []uint64{1, 2}, BaseConfig: tinyBase}
+	res, err := RunE(exp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(exp.Scenarios) * len(exp.Xs) * 2; len(res.Cells) != want {
+		t.Fatalf("stored %d cells, want %d", len(res.Cells), want)
+	}
+	for _, c := range res.Cells {
+		if c.Result.Created == 0 {
+			t.Fatalf("cell (%s, x=%v, seed %d) stored an empty Result", c.Series, c.X, c.Seed)
+		}
+		if c.Result.Seed != c.Seed {
+			t.Fatalf("cell seed %d carries Result.Seed %d", c.Seed, c.Result.Seed)
+		}
+	}
+	// Every known metric renders without re-running.
+	for _, m := range Metrics() {
+		tbl, err := res.Table(m)
+		if err != nil {
+			t.Fatalf("Table(%s): %v", m, err)
+		}
+		if len(tbl.Series) != 2 || len(tbl.Series[0].Cells) != 2 {
+			t.Fatalf("Table(%s) shape wrong", m)
+		}
+	}
+	// The transfer-count view is consistent with the stored results.
+	tbl, err := res.Table(MetricTransfers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Series[0].Cells[0].Summary.Mean; got <= 0 {
+		t.Fatalf("transfer metric mean = %v, want > 0", got)
+	}
+}
+
+// TestResultsJSONArtifact: the machine-readable artifact carries the full
+// per-seed results and every metric's aggregate.
+func TestResultsJSONArtifact(t *testing.T) {
+	res, err := RunE(tinyExperiment(), Options{Seeds: []uint64{1, 2}, BaseConfig: tinyBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"experiment": "tiny"`,
+		`"axis": "ttl_min"`,
+		`"axis_label": "ttl(min)"`,
+		`"metric": "delivery_prob"`,
+		`"delivery_probability"`,
+		`"transfers_completed"`,
+		`"avg_delay_min"`,
+		`"seed": 2`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON artifact missing %q:\n%s", want, data)
 		}
 	}
 }
@@ -164,7 +281,7 @@ func TestRenderAndCSV(t *testing.T) {
 	}
 	csv := tbl.CSV()
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
-	if lines[0] != "experiment,x,series,mean,ci95,n" {
+	if lines[0] != "experiment,metric,x,series,mean,ci95,n" {
 		t.Fatalf("CSV header = %q", lines[0])
 	}
 	// 2 series x 2 x-values = 4 data rows.
@@ -172,8 +289,8 @@ func TestRenderAndCSV(t *testing.T) {
 		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv)
 	}
 	for _, l := range lines[1:] {
-		if !strings.HasPrefix(l, "tiny,") {
-			t.Fatalf("CSV row %q missing experiment id", l)
+		if !strings.HasPrefix(l, "tiny,delivery_prob,") {
+			t.Fatalf("CSV row %q missing experiment id + metric", l)
 		}
 	}
 }
@@ -206,7 +323,18 @@ func TestOptionsNormalization(t *testing.T) {
 	if o.Scale != 1 {
 		t.Fatalf("default scale = %v", o.Scale)
 	}
-	if o.BaseConfig == nil {
-		t.Fatal("default base config nil")
+	// Base resolution: explicit option first, then the experiment's own
+	// base, then the paper defaults.
+	exp := tinyExperiment()
+	if got := o.base(exp)(); got.Vehicles != sim.DefaultConfig().Vehicles {
+		t.Fatalf("default base vehicles = %d", got.Vehicles)
+	}
+	exp.Base = func() sim.Config { c := tinyBase(); c.Vehicles = 7; return c }
+	if got := o.base(exp)(); got.Vehicles != 7 {
+		t.Fatalf("experiment base not used: vehicles = %d", got.Vehicles)
+	}
+	o.BaseConfig = tinyBase
+	if got := o.base(exp)(); got.Vehicles != 8 {
+		t.Fatalf("options base not preferred: vehicles = %d", got.Vehicles)
 	}
 }

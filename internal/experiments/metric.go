@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vdtn/internal/sim"
+)
+
+// Metric names one scalar view of a run's full sim.Result. Because the
+// runner stores the complete Result per cell (see Results), a metric is
+// only a rendering choice: any metric can be extracted from one finished
+// sweep without re-running it.
+//
+// The value is the stable identifier used in sweep spec files and JSON
+// artifacts; String returns the human table label.
+type Metric string
+
+// The metrics the paper's figures plot, followed by the wider result
+// surface a sweep can render.
+const (
+	// MetricAvgDelayMin is the message average delay in minutes
+	// (Figures 4, 6, 9).
+	MetricAvgDelayMin Metric = "avg_delay_min"
+	// MetricDeliveryProb is the message delivery probability
+	// (Figures 5, 7, 8).
+	MetricDeliveryProb Metric = "delivery_prob"
+	// MetricOverhead is the transfer overhead ratio (ablations).
+	MetricOverhead Metric = "overhead"
+
+	MetricMedianDelayMin  Metric = "median_delay_min"
+	MetricP95DelayMin     Metric = "p95_delay_min"
+	MetricAvgHops         Metric = "avg_hops"
+	MetricBufferOccupancy Metric = "buffer_occupancy"
+	MetricContacts        Metric = "contacts"
+	MetricTransfers       Metric = "transfers"
+	MetricDropped         Metric = "dropped"
+	MetricExpired         Metric = "expired"
+)
+
+// metricDef couples a metric's table label with its Result extractor.
+type metricDef struct {
+	label string
+	value func(r sim.Result) float64
+}
+
+var metricDefs = map[Metric]metricDef{
+	MetricAvgDelayMin:     {"average delay (minutes)", func(r sim.Result) float64 { return r.AvgDelay / 60 }},
+	MetricDeliveryProb:    {"delivery probability", func(r sim.Result) float64 { return r.DeliveryProbability }},
+	MetricOverhead:        {"overhead ratio", func(r sim.Result) float64 { return r.OverheadRatio }},
+	MetricMedianDelayMin:  {"median delay (minutes)", func(r sim.Result) float64 { return r.MedianDelay / 60 }},
+	MetricP95DelayMin:     {"p95 delay (minutes)", func(r sim.Result) float64 { return r.P95Delay / 60 }},
+	MetricAvgHops:         {"average hops", func(r sim.Result) float64 { return r.AvgHops }},
+	MetricBufferOccupancy: {"mean buffer occupancy", func(r sim.Result) float64 { return r.MeanBufferOccupancy }},
+	MetricContacts:        {"contact count", func(r sim.Result) float64 { return float64(r.Contacts) }},
+	MetricTransfers:       {"completed transfers", func(r sim.Result) float64 { return float64(r.TransfersCompleted) }},
+	MetricDropped:         {"buffer drops", func(r sim.Result) float64 { return float64(r.Dropped) }},
+	MetricExpired:         {"TTL expiries", func(r sim.Result) float64 { return float64(r.Expired) }},
+}
+
+// String returns the table label of the metric, or the raw identifier for
+// an unknown one (render paths must not fail on data that already ran).
+func (m Metric) String() string {
+	if d, ok := metricDefs[m]; ok {
+		return d.label
+	}
+	return string(m)
+}
+
+// Value extracts the metric from a run result. Unknown metrics are an
+// error — callers in the runner surface it through RunE's error path
+// instead of the panic the pre-Results harness raised.
+func (m Metric) Value(r sim.Result) (float64, error) {
+	d, ok := metricDefs[m]
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown metric %q (known: %v)", string(m), Metrics())
+	}
+	return d.value(r), nil
+}
+
+// valid reports whether the metric is known.
+func (m Metric) valid() error {
+	_, err := m.Value(sim.Result{})
+	return err
+}
+
+// Metrics returns every known metric identifier, sorted.
+func Metrics() []Metric {
+	out := make([]Metric, 0, len(metricDefs))
+	for m := range metricDefs {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vdtn/internal/scenario"
+	"vdtn/internal/sim"
+	"vdtn/internal/stats"
+)
+
+// CellResult is one completed (series, x, seed) cell carrying the full
+// sim.Result — nothing is thrown away at run time, so any metric can be
+// rendered later from the same sweep.
+type CellResult struct {
+	Series string     `json:"series"`
+	X      float64    `json:"x"`
+	Seed   uint64     `json:"seed"`
+	Result sim.Result `json:"result"`
+}
+
+// Results is the store a finished sweep produces: every cell's full
+// Result in aggregation order (series-major, then x, then seed). Table
+// renders any metric view over it; JSON emits the machine-readable
+// artifact.
+type Results struct {
+	Experiment Experiment
+	Options    Options
+	Cells      []CellResult
+}
+
+// at returns the replicated results of one (series, x) point.
+func (r *Results) at(si, xi int) []CellResult {
+	perSeed := len(r.Options.Seeds)
+	perX := len(r.Experiment.Xs) * perSeed
+	base := si*perX + xi*perSeed
+	return r.Cells[base : base+perSeed]
+}
+
+// Table aggregates one metric view over the stored results: per (series,
+// x) cell, the metric of each seed's Result summarized into mean ± CI.
+// An unknown metric is an error.
+func (r *Results) Table(m Metric) (Table, error) {
+	if err := m.valid(); err != nil {
+		return Table{}, err
+	}
+	t := Table{Experiment: r.Experiment, Options: r.Options, Metric: m}
+	for si, sc := range r.Experiment.Scenarios {
+		s := Series{Name: sc.Name}
+		for xi, x := range r.Experiment.Xs {
+			cells := r.at(si, xi)
+			xs := make([]float64, len(cells))
+			for i, c := range cells {
+				v, err := m.Value(c.Result)
+				if err != nil {
+					return Table{}, err
+				}
+				xs[i] = v
+			}
+			s.Cells = append(s.Cells, Cell{X: x, Summary: stats.Summarize(xs)})
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// DefaultTable renders the experiment's declared metric. RunE validated
+// the metric before running any cell, so this cannot fail on a Results it
+// returned; a hand-built Results with an unknown metric panics like any
+// other harness misuse.
+func (r *Results) DefaultTable() Table {
+	t, err := r.Table(r.Experiment.Metric)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// jsonSummary is one aggregated metric in the artifact.
+type jsonSummary struct {
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// jsonRun is one replication in the artifact: the seed and the complete
+// run result.
+type jsonRun struct {
+	Seed   uint64     `json:"seed"`
+	Result sim.Result `json:"result"`
+}
+
+// jsonCell is one (series, x) point: its full per-seed results plus every
+// known metric pre-aggregated for plotting tools.
+type jsonCell struct {
+	X       float64                `json:"x"`
+	Runs    []jsonRun              `json:"runs"`
+	Metrics map[string]jsonSummary `json:"metrics"`
+}
+
+type jsonSeries struct {
+	Name  string     `json:"name"`
+	Cells []jsonCell `json:"cells"`
+}
+
+// jsonArtifact is the machine-readable form of a finished sweep.
+type jsonArtifact struct {
+	Experiment string       `json:"experiment"`
+	Title      string       `json:"title"`
+	Axis       string       `json:"axis"`
+	AxisLabel  string       `json:"axis_label"`
+	Metric     Metric       `json:"metric"`
+	Seeds      []uint64     `json:"seeds"`
+	Scale      float64      `json:"scale"`
+	Xs         []float64    `json:"xs"`
+	Series     []jsonSeries `json:"series"`
+}
+
+// JSON renders the results as an indented machine-readable artifact: the
+// sweep's identity (experiment, axis, declared metric), then per series
+// and x the full per-seed sim.Result plus every known metric aggregated
+// to mean ± 95% CI. It is the artifact cmd/experiments -out writes next
+// to the table CSV.
+func (r *Results) JSON() ([]byte, error) {
+	art := jsonArtifact{
+		Experiment: r.Experiment.ID,
+		Title:      r.Experiment.Title,
+		Axis:       r.Experiment.Axis,
+		AxisLabel:  scenario.AxisLabel(r.Experiment.Axis),
+		Metric:     r.Experiment.Metric,
+		Seeds:      r.Options.Seeds,
+		Scale:      r.Options.Scale,
+		Xs:         r.Experiment.Xs,
+	}
+	ms := Metrics()
+	for si, sc := range r.Experiment.Scenarios {
+		js := jsonSeries{Name: sc.Name}
+		for xi, x := range r.Experiment.Xs {
+			cells := r.at(si, xi)
+			jc := jsonCell{X: x, Metrics: make(map[string]jsonSummary, len(ms))}
+			for _, c := range cells {
+				jc.Runs = append(jc.Runs, jsonRun{Seed: c.Seed, Result: c.Result})
+			}
+			for _, m := range ms {
+				xs := make([]float64, len(cells))
+				for i, c := range cells {
+					v, err := m.Value(c.Result)
+					if err != nil {
+						return nil, err
+					}
+					xs[i] = v
+				}
+				sum := stats.Summarize(xs)
+				jc.Metrics[string(m)] = jsonSummary{Mean: sum.Mean, CI95: sum.CI95(), N: sum.N}
+			}
+			js.Cells = append(js.Cells, jc)
+		}
+		art.Series = append(art.Series, js)
+	}
+	return json.MarshalIndent(art, "", "  ")
+}
+
+// Cell is the aggregated outcome of one (series, x) point under one
+// metric.
+type Cell struct {
+	X       float64
+	Summary stats.Summary
+}
+
+// Series is one aggregated line of a table.
+type Series struct {
+	Name  string
+	Cells []Cell
+}
+
+// Table is one metric view over a completed experiment — what Render and
+// CSV print. Results.Table produces them; Run returns the experiment's
+// default view directly.
+type Table struct {
+	Experiment Experiment
+	Options    Options
+	Metric     Metric
+	Series     []Series
+}
+
+// Render returns an aligned text table: one row per x value, one column
+// per series, cells "mean±ci" (ci omitted for single-seed runs).
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s — %s\n", t.Experiment.ID, t.Experiment.Title, t.Metric)
+	if t.Options.Scale != 1 {
+		fmt.Fprintf(&sb, "(scaled run: %.0f%% of the paper's 12 h horizon)\n", t.Options.Scale*100)
+	}
+
+	cols := []string{scenario.AxisLabel(t.Experiment.Axis)}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for xi, x := range t.Experiment.Xs {
+		row := []string{trimFloat(x)}
+		for _, s := range t.Series {
+			c := s.Cells[xi]
+			if c.Summary.N > 1 {
+				row = append(row, fmt.Sprintf("%.3f±%.3f", c.Summary.Mean, c.Summary.CI95()))
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", c.Summary.Mean))
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV returns the table in long form:
+// experiment,metric,x,series,mean,ci95,n — one row per cell. The metric
+// column makes files self-describing now that one sweep renders under
+// any metric (-metric): two CSVs of the same experiment are
+// distinguishable by content, not just by the flags that produced them.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("experiment,metric,x,series,mean,ci95,n\n")
+	for _, s := range t.Series {
+		for _, c := range s.Cells {
+			fmt.Fprintf(&sb, "%s,%s,%s,%s,%.6f,%.6f,%d\n",
+				t.Experiment.ID, string(t.Metric), trimFloat(c.X), s.Name, c.Summary.Mean, c.Summary.CI95(), c.Summary.N)
+		}
+	}
+	return sb.String()
+}
+
+// trimFloat renders a swept x value at full precision: user specs can
+// sweep arbitrarily fine values, and two distinct cells must never
+// collapse to one x label in tables or CSV rows. Catalog-style values
+// keep their short forms ("60", "0.5").
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -61,7 +61,7 @@ func TestCacheMigratesLegacyFlatDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(plain.Series, migrated.Series) {
+	if !reflect.DeepEqual(plain.Series, migrated.DefaultTable().Series) {
 		t.Fatal("sweep over the migrated legacy cache diverged from the uncached table")
 	}
 	if cache.Recorded() != 0 {
@@ -339,7 +339,7 @@ func TestCacheMmapSourceServesViews(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(plain.Series, mapped.Series) {
+	if !reflect.DeepEqual(plain.Series, mapped.DefaultTable().Series) {
 		t.Fatal("mmap-served sweep diverged from the uncached table")
 	}
 

@@ -3,6 +3,14 @@
 // schema speaks scenario-facing units (minutes, MB, km/h, Mbit/s) and is
 // converted to the simulator's SI-unit Config on load.
 //
+// Beyond single scenarios, the schema carries whole experiments: the
+// "sweep" and "series" blocks (SweepSpec, SeriesSpec) describe a family
+// of scenarios swept over one named Axis — see docs/SWEEPS.md and the
+// experiments package's LoadSpec. The axis registry (Axes, AxisByName,
+// RegisterAxis) is the shared vocabulary: each axis is a named,
+// serializable config mutation that declares whether it can move the
+// contact process (and therefore ContactFingerprint).
+//
 // Config fields that cannot be serialized — a custom router factory, a
 // trace callback, an in-memory map graph — are deliberately outside the
 // schema; files describe the declarative part of a scenario, and callers
@@ -56,6 +64,48 @@ type File struct {
 	Contacts []Window `json:"contacts,omitempty"`
 	// Script replaces random traffic when non-empty.
 	Script []Message `json:"script,omitempty"`
+
+	// Sweep, when non-nil, turns the file from a single scenario into a
+	// declarative experiment: the scalar fields above become the base
+	// scenario, Sweep names the swept axis and its values, and Series
+	// lists the compared lines. The experiments package materializes the
+	// (series × value) cell grid from it (see experiments.LoadSpec).
+	Sweep *SweepSpec `json:"sweep,omitempty"`
+	// Series are the sweep's compared lines. Empty with a Sweep present
+	// means one series built from the base protocol/policy.
+	Series []SeriesSpec `json:"series,omitempty"`
+}
+
+// SweepSpec declares the swept dimension of an experiment file: one named
+// axis, its values, the reported metric, and optional fixed axis settings
+// applied to every cell before the swept value.
+type SweepSpec struct {
+	// ID is the experiment handle ("fig5", "fleet-density", ...); it names
+	// output files and CLI selection. Empty defaults to the file's Name.
+	ID string `json:"id,omitempty"`
+	// Title describes the experiment in table headers.
+	Title string `json:"title,omitempty"`
+	// Axis names the swept parameter (AxisByName).
+	Axis string `json:"axis"`
+	// Values are the swept points, in plot order.
+	Values []float64 `json:"values"`
+	// Metric names the reported metric ("delivery_prob", "avg_delay_min",
+	// ...); empty defaults to delivery probability. Any metric can still
+	// be rendered later from the stored full results.
+	Metric string `json:"metric,omitempty"`
+	// Set holds fixed axis settings applied to every cell before the
+	// swept value (e.g. {"ttl_min": 120} for a non-TTL ablation).
+	Set map[string]float64 `json:"set,omitempty"`
+}
+
+// SeriesSpec is one compared line of a sweep: a label, a routing
+// selection, and optional per-series fixed axis settings applied after
+// the swept value.
+type SeriesSpec struct {
+	Name     string             `json:"name"`
+	Protocol string             `json:"protocol,omitempty"`
+	Policy   string             `json:"policy,omitempty"`
+	Set      map[string]float64 `json:"set,omitempty"`
 }
 
 // Window is one contact window in the schema.
@@ -91,6 +141,42 @@ var policyNames = map[string]sim.PolicyKind{
 	"size":      sim.PolicySize,
 	"hopmofo":   sim.PolicyHopMOFO,
 	"oldestage": sim.PolicyFIFOOldestAge,
+}
+
+// ProtocolByName resolves a schema protocol name ("epidemic", "maxprop",
+// ...) to its kind.
+func ProtocolByName(name string) (sim.ProtocolKind, bool) {
+	p, ok := protocolNames[name]
+	return p, ok
+}
+
+// PolicyByName resolves a schema policy name ("fifo", "lifetime", ...) to
+// its kind.
+func PolicyByName(name string) (sim.PolicyKind, bool) {
+	p, ok := policyNames[name]
+	return p, ok
+}
+
+// ProtocolName returns the schema name of a protocol kind ("" if the kind
+// is outside the schema).
+func ProtocolName(kind sim.ProtocolKind) string {
+	for name, k := range protocolNames {
+		if k == kind {
+			return name
+		}
+	}
+	return ""
+}
+
+// PolicyName returns the schema name of a policy kind ("" if the kind is
+// outside the schema).
+func PolicyName(kind sim.PolicyKind) string {
+	for name, k := range policyNames {
+		if k == kind {
+			return name
+		}
+	}
+	return ""
 }
 
 // Load parses JSON into a validated sim.Config.

@@ -31,22 +31,24 @@ type deliveryObserver interface {
 	OnDelivered(now float64, m *bundle.Message)
 }
 
-// Result is the outcome of one simulation run.
+// Result is the outcome of one simulation run. The JSON names are part of
+// the experiment harness's machine-readable artifact schema; the embedded
+// Report's fields inline alongside them.
 type Result struct {
 	stats.Report
 	// Label identifies the scenario (protocol/policy/TTL).
-	Label string
+	Label string `json:"label"`
 	// Seed is the master seed the run used.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Contacts counts contact-up events over the run.
-	Contacts uint64
+	Contacts uint64 `json:"contacts"`
 	// TransfersStarted/Completed/Aborted are radio-level transfer counts.
-	TransfersStarted   uint64
-	TransfersCompleted uint64
-	TransfersAborted   uint64
+	TransfersStarted   uint64 `json:"transfers_started"`
+	TransfersCompleted uint64 `json:"transfers_completed"`
+	TransfersAborted   uint64 `json:"transfers_aborted"`
 	// MeanBufferOccupancy is the network-wide mean buffer fill fraction,
 	// sampled at every TTL sweep inside the measurement window.
-	MeanBufferOccupancy float64
+	MeanBufferOccupancy float64 `json:"mean_buffer_occupancy"`
 }
 
 // World is an assembled scenario ready to run.

@@ -110,30 +110,31 @@ func (l *Ledger) Report() Report {
 	return r
 }
 
-// Report is the frozen outcome of one simulation run.
+// Report is the frozen outcome of one simulation run. The JSON names are
+// part of the experiment harness's machine-readable artifact schema.
 type Report struct {
-	Created            int
-	CreateRejected     int
-	Delivered          int
-	DeliveredDuplicate int
-	RelayAccepted      int
-	RelayRejected      int
-	Dropped            int
-	Expired            int
-	Aborted            int
+	Created            int `json:"created"`
+	CreateRejected     int `json:"create_rejected"`
+	Delivered          int `json:"delivered"`
+	DeliveredDuplicate int `json:"delivered_duplicate"`
+	RelayAccepted      int `json:"relay_accepted"`
+	RelayRejected      int `json:"relay_rejected"`
+	Dropped            int `json:"dropped"`
+	Expired            int `json:"expired"`
+	Aborted            int `json:"aborted"`
 
 	// DeliveryProbability is unique deliveries / created messages
 	// (the paper's Figures 5, 7, 8).
-	DeliveryProbability float64
+	DeliveryProbability float64 `json:"delivery_probability"`
 	// AvgDelay is the mean creation-to-delivery time in seconds over
 	// delivered messages (the paper's Figures 4, 6, 9).
-	AvgDelay    float64
-	MedianDelay float64
-	P95Delay    float64
-	AvgHops     float64
+	AvgDelay    float64 `json:"avg_delay_sec"`
+	MedianDelay float64 `json:"median_delay_sec"`
+	P95Delay    float64 `json:"p95_delay_sec"`
+	AvgHops     float64 `json:"avg_hops"`
 	// OverheadRatio is (transfers - unique deliveries) / unique
 	// deliveries, the ONE simulator's network-cost metric.
-	OverheadRatio float64
+	OverheadRatio float64 `json:"overhead_ratio"`
 }
 
 // String renders a human-readable block, used by the CLI tools.

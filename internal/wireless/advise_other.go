@@ -1,0 +1,8 @@
+//go:build !(linux || darwin)
+
+package wireless
+
+// adviseReplayAccess is a no-op on platforms without a wired-up madvise
+// (including the !unix read-everything fallback, where the hints would be
+// meaningless anyway).
+func adviseReplayAccess(data []byte) {}

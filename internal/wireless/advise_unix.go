@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package wireless
+
+import "syscall"
+
+// adviseReplayAccess hints the kernel about how a mapped trace is read:
+// WILLNEED prefetches the pages (the open pass validates the whole stream
+// immediately, and fleet-scale sweeps touch every byte shortly after), and
+// SEQUENTIAL widens readahead for the front-to-back cursor scans replay
+// performs. Purely an optimization — failures are ignored, correctness
+// never depends on the hints landing.
+func adviseReplayAccess(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	_ = syscall.Madvise(data, syscall.MADV_WILLNEED)
+}

@@ -348,5 +348,11 @@ func mapFile(path string) ([]byte, func() error, error) {
 	if size != int64(int(size)) {
 		return nil, nil, fmt.Errorf("wireless: %s: %d bytes does not fit this platform's address space", path, size)
 	}
-	return mmapReadOnly(f, int(size))
+	data, unmap, err := mmapReadOnly(f, int(size))
+	if err == nil && unmap != nil {
+		// Only genuinely mapped pages take access-pattern hints; the
+		// heap-backed fallback (unmap == nil) has nothing to advise.
+		adviseReplayAccess(data)
+	}
+	return data, unmap, err
 }

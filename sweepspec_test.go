@@ -1,0 +1,131 @@
+package vdtn_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vdtn"
+)
+
+// TestSpecSweepEndToEnd is the CI gate for the declarative sweep engine:
+// the checked-in custom spec (a sweep over the non-paper "vehicles" axis)
+// loads, runs with a contact cache, produces a machine-readable JSON
+// artifact, and renders a table matching the pinned golden file.
+//
+// Regenerate the golden after an intended behavior change with:
+//
+//	UPDATE_GOLDEN=1 go test . -run TestSpecSweepEndToEnd
+func TestSpecSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) sweep")
+	}
+	data, err := os.ReadFile(filepath.Join("examples", "sweeps", "fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := vdtn.LoadExperimentSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "fleet-density" || exp.Axis != "vehicles" {
+		t.Fatalf("spec loaded as %q on axis %q", exp.ID, exp.Axis)
+	}
+
+	cache := &vdtn.ContactCache{}
+	res, err := vdtn.RunExperimentE(exp, vdtn.ExperimentOptions{ContactCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The vehicles axis moves the contact process, so the cache records
+	// one trace per swept value — and shares each across both series.
+	if cache.Len() != len(exp.Xs) {
+		t.Fatalf("cache holds %d traces, want %d (one per swept fleet size, shared across series)",
+			cache.Len(), len(exp.Xs))
+	}
+	if cells := len(exp.Scenarios) * len(exp.Xs); len(res.Cells) != cells {
+		t.Fatalf("stored %d cells, want %d", len(res.Cells), cells)
+	}
+
+	// The JSON artifact is machine-readable: full per-seed results plus
+	// every metric pre-aggregated.
+	artifact, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Experiment string    `json:"experiment"`
+		Axis       string    `json:"axis"`
+		Xs         []float64 `json:"xs"`
+		Series     []struct {
+			Name  string `json:"name"`
+			Cells []struct {
+				X    float64 `json:"x"`
+				Runs []struct {
+					Seed   uint64 `json:"seed"`
+					Result struct {
+						Created             int     `json:"created"`
+						DeliveryProbability float64 `json:"delivery_probability"`
+					} `json:"result"`
+				} `json:"runs"`
+				Metrics map[string]struct {
+					Mean float64 `json:"mean"`
+					N    int     `json:"n"`
+				} `json:"metrics"`
+			} `json:"cells"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(artifact, &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if decoded.Experiment != "fleet-density" || decoded.Axis != "vehicles" || len(decoded.Series) != 2 {
+		t.Fatalf("artifact identity wrong: %+v", decoded)
+	}
+	for _, s := range decoded.Series {
+		if len(s.Cells) != 3 {
+			t.Fatalf("series %s has %d cells", s.Name, len(s.Cells))
+		}
+		for _, c := range s.Cells {
+			if len(c.Runs) != 1 || c.Runs[0].Result.Created == 0 {
+				t.Fatalf("series %s cell x=%v missing full run results", s.Name, c.X)
+			}
+			if _, ok := c.Metrics["overhead"]; !ok {
+				t.Fatalf("series %s cell x=%v missing pre-aggregated metrics", s.Name, c.X)
+			}
+		}
+	}
+
+	// Golden table render: pins both the engine's output format and the
+	// sweep's deterministic numbers.
+	rendered := res.DefaultTable().Render()
+	goldenPath := filepath.Join("testdata", "fleet_sweep_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(rendered), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if rendered != string(golden) {
+		t.Fatalf("rendered table diverged from golden %s:\n--- got ---\n%s--- want ---\n%s",
+			goldenPath, rendered, golden)
+	}
+
+	// A second metric renders from the same finished sweep.
+	over, err := res.Table(vdtn.MetricOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(over.Render(), "overhead ratio") {
+		t.Fatal("overhead view missing its metric label")
+	}
+}

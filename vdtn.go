@@ -334,34 +334,95 @@ func TopContactPairs(events []TraceEvent, k int) [][2]int {
 	return reports.TopPairs(events, k)
 }
 
-// Experiment harness re-exports: regenerate the paper's figures.
+// Experiment harness re-exports: the declarative sweep engine that
+// regenerates the paper's figures and runs user-defined sweeps from JSON
+// specs.
 type (
-	// Experiment is one reproducible figure or ablation.
+	// Experiment is one reproducible sweep: a figure, an ablation, or a
+	// loaded spec — series swept over one named axis.
 	Experiment = experiments.Experiment
+	// ExperimentScenario is one series of an experiment.
+	ExperimentScenario = experiments.Scenario
+	// ExperimentSetting is one fixed, declarative axis assignment.
+	ExperimentSetting = experiments.Setting
 	// ExperimentOptions controls replication, parallelism and scale.
 	ExperimentOptions = experiments.Options
-	// ExperimentTable is a completed experiment with rendering helpers.
+	// ExperimentResults stores every cell's complete Result; Table
+	// renders any metric view, JSON emits the machine-readable artifact.
+	ExperimentResults = experiments.Results
+	// ExperimentCellResult is one (series, x, seed) cell's full outcome.
+	ExperimentCellResult = experiments.CellResult
+	// ExperimentTable is one metric view with rendering helpers.
 	ExperimentTable = experiments.Table
+	// ExperimentMetric names one scalar view of a run result.
+	ExperimentMetric = experiments.Metric
+	// ExperimentRegistry merges the built-in catalog with loaded specs.
+	ExperimentRegistry = experiments.Registry
+	// SweepAxis is a named, serializable swept parameter.
+	SweepAxis = scenario.Axis
 )
 
-// Experiments returns the catalog: the paper's Figures 4-9 and the
-// ablations described in DESIGN.md.
+// The metrics sweeps report; any of them can be rendered from one
+// finished ExperimentResults (see experiments.Metrics for the full list).
+const (
+	MetricAvgDelayMin  = experiments.MetricAvgDelayMin
+	MetricDeliveryProb = experiments.MetricDeliveryProb
+	MetricOverhead     = experiments.MetricOverhead
+)
+
+// ExperimentMetrics lists every known metric identifier.
+func ExperimentMetrics() []ExperimentMetric { return experiments.Metrics() }
+
+// Experiments returns the built-in catalog: the paper's Figures 4-9 and
+// the ablations described in DESIGN.md, expressed on the named sweep
+// axes.
 func Experiments() []Experiment { return experiments.Catalog() }
 
-// ExperimentByID finds one experiment ("fig4" ... "fig9",
+// ExperimentByID finds one built-in experiment ("fig4" ... "fig9",
 // "ablation-rate", ...).
 func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
 
-// RunExperiment executes an experiment and aggregates its table. It
-// panics on a cell error; use RunExperimentE to handle failures.
+// NewExperimentRegistry returns a registry preloaded with the built-in
+// catalog; add user specs with AddSpec.
+func NewExperimentRegistry() *ExperimentRegistry { return experiments.NewRegistry() }
+
+// LoadExperimentSpec parses an on-disk sweep spec — a scenario JSON file
+// with "sweep" and "series" blocks (see docs/SWEEPS.md) — into a runnable
+// Experiment.
+func LoadExperimentSpec(data []byte) (Experiment, error) { return experiments.LoadSpec(data) }
+
+// ExperimentSpecJSON renders an experiment back into the spec schema;
+// built-in figures export as self-contained files that reload
+// bit-identically.
+func ExperimentSpecJSON(e Experiment) ([]byte, error) { return experiments.SpecJSON(e) }
+
+// SweepAxes returns every registered axis, sorted by name.
+func SweepAxes() []SweepAxis { return scenario.Axes() }
+
+// SweepAxisByName looks an axis up by its stable name ("ttl_min",
+// "vehicles", ...).
+func SweepAxisByName(name string) (SweepAxis, bool) { return scenario.AxisByName(name) }
+
+// NewSweepAxis builds a custom axis; register it with RegisterSweepAxis
+// to use it in experiment definitions and spec files.
+func NewSweepAxis(name, label string, movesContacts bool, apply func(c *Config, v float64)) SweepAxis {
+	return scenario.NewAxis(name, label, movesContacts, apply)
+}
+
+// RegisterSweepAxis adds a custom axis to the registry.
+func RegisterSweepAxis(a SweepAxis) error { return scenario.RegisterAxis(a) }
+
+// RunExperiment executes an experiment and renders its default metric
+// table. It panics on an error; use RunExperimentE to handle failures.
 func RunExperiment(e Experiment, opt ExperimentOptions) ExperimentTable {
 	return experiments.Run(e, opt)
 }
 
-// RunExperimentE executes an experiment and aggregates its table,
-// reporting the first failing cell — with its (series, x, seed)
-// coordinates — as an error instead of panicking.
-func RunExperimentE(e Experiment, opt ExperimentOptions) (ExperimentTable, error) {
+// RunExperimentE executes an experiment and stores every cell's complete
+// Result, reporting the first failing cell — with its (series, x, seed)
+// coordinates — as an error instead of panicking. Render tables from the
+// returned Results via DefaultTable or Table(metric).
+func RunExperimentE(e Experiment, opt ExperimentOptions) (*ExperimentResults, error) {
 	return experiments.RunE(e, opt)
 }
 
@@ -369,6 +430,6 @@ func RunExperimentE(e Experiment, opt ExperimentOptions) (ExperimentTable, error
 // every (series, x, seed) cell of the sweep — the input
 // ContactCache.Prewarm wants when pre-recording contact traces across
 // several experiments before any of them runs.
-func ExperimentCellConfigs(e Experiment, opt ExperimentOptions) []Config {
+func ExperimentCellConfigs(e Experiment, opt ExperimentOptions) ([]Config, error) {
 	return experiments.CellConfigs(e, opt)
 }

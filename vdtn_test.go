@@ -83,10 +83,14 @@ func TestExperimentCatalogExported(t *testing.T) {
 func TestRunExperimentViaFacade(t *testing.T) {
 	exp, _ := vdtn.ExperimentByID("fig5")
 	exp.Xs = []float64{30} // single point, small scenario below
-	tbl := vdtn.RunExperiment(exp, vdtn.ExperimentOptions{
+	res, err := vdtn.RunExperimentE(exp, vdtn.ExperimentOptions{
 		Seeds:      []uint64{1},
 		BaseConfig: func() vdtn.Config { return smallConfig(1) },
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.DefaultTable()
 	if len(tbl.Series) != 3 {
 		t.Fatalf("fig5 series = %d, want 3 policies", len(tbl.Series))
 	}
@@ -95,6 +99,14 @@ func TestRunExperimentViaFacade(t *testing.T) {
 		if v < 0 || v > 1 {
 			t.Fatalf("series %s delivery prob %v out of range", s.Name, v)
 		}
+	}
+	// Any other metric renders from the same finished sweep.
+	over, err := res.Table(vdtn.MetricOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(over.Series) != 3 {
+		t.Fatalf("overhead view series = %d", len(over.Series))
 	}
 }
 
