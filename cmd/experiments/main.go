@@ -16,24 +16,42 @@
 //	experiments -figure all -prewarm -seeds 5   # record all traces up front
 //	experiments -cache-dir traces/ -cache-mmap  # zero-copy mapped replay
 //	experiments -cache-dir traces/ -cache-max-mb 256  # LRU-bounded store
+//	experiments -spec grid.json -progress       # per-cell progress on stderr
+//	experiments -figure fig5 -out-jsonl r/      # stream cells as JSON lines
 //
 // Tables print to stdout; -out additionally writes one CSV and one JSON
 // results artifact per experiment (the JSON carries every cell's complete
-// run result, so any metric can be re-rendered without re-running).
-// -spec loads a sweep spec (repeatable) into the same registry as the
-// built-in figures; with -figure left at "all", only the loaded specs
-// run. -metric renders the table under a different metric than the
-// experiment declares. -contact-cache records each distinct (scenario,
-// seed) mobility process once and replays it for every series and x cell
-// that shares it — results are bit-identical to uncached runs, several
-// times faster on multi-cell sweeps. -cache-dir additionally persists the
-// traces on disk in the integrity-checked binary format (and implies
-// -contact-cache), laid out as a 2-level sharded directory fronted by an
-// index file; legacy flat-dir and text traces are migrated transparently
-// (or all at once via -migrate-cache). -cache-mmap replays persisted
-// traces through read-only memory-mapped views — concurrent processes
-// share one page-cached copy of each trace, and cells replay with no
-// per-cell trace allocation. -cache-max-mb bounds the store, evicting
+// run result, so any metric can be re-rendered without re-running), and
+// -out-jsonl streams one <id>.jsonl file per experiment — header line,
+// one line per finished cell in deterministic aggregation order, footer
+// with the cell count and outcome — written incrementally, so a sweep's
+// results never have to fit in memory. -spec loads a sweep spec
+// (repeatable) into the same registry as the built-in figures; with
+// -figure left at "all", only the loaded specs run. Specs may declare
+// multi-axis grid sweeps ("axes") and spec-level "seeds"/"scale"
+// defaults; explicit -seeds/-scale flags override them. -metric renders
+// the table under a different metric than the experiment declares.
+// -progress reports every cell start/finish (with timing) and every
+// contact-trace recording pass on stderr.
+//
+// Interrupting a run (SIGINT/SIGTERM) cancels it cooperatively: in-flight
+// cells stop at their next event-loop checkpoint, every artifact the
+// completed cells support is still flushed — partial CSV and JSON
+// artifacts marked incomplete, JSONL streams footed with the
+// interruption — the contact cache's index is written, and the exit code
+// is non-zero.
+//
+// -contact-cache records each distinct (scenario, seed) mobility process
+// once and replays it for every series and x cell that shares it —
+// results are bit-identical to uncached runs, several times faster on
+// multi-cell sweeps. -cache-dir additionally persists the traces on disk
+// in the integrity-checked binary format (and implies -contact-cache),
+// laid out as a 2-level sharded directory fronted by an index file;
+// legacy flat-dir and text traces are migrated transparently (or all at
+// once via -migrate-cache). -cache-mmap replays persisted traces through
+// read-only memory-mapped views — concurrent processes share one
+// page-cached copy of each trace, and cells replay with no per-cell
+// trace allocation. -cache-max-mb bounds the store, evicting
 // least-recently-used traces. -prewarm records the traces of every
 // selected experiment in parallel before the first sweep starts, instead
 // of on first touch inside it. A failing cell exits non-zero naming its
@@ -41,11 +59,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"vdtn"
@@ -61,47 +83,106 @@ func (s *specFlags) Set(v string) error {
 	return nil
 }
 
-func fatalf(format string, args ...any) {
+// fail reports an error on stderr and returns the process exit code, so
+// every exit flows through run's single return path — deferred cleanup
+// (closing the contact cache, flushing its index) always executes.
+func fail(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }
 
-func main() {
+// progress prints runner lifecycle events on stderr (-progress).
+type progress struct {
+	vdtn.ExperimentBaseObserver
+}
+
+// cellLabel renders a cell's coordinates for progress lines.
+func cellLabel(c vdtn.ExperimentCellID) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s x=%g", c.Series, c.X)
+	for _, g := range c.Grid {
+		fmt.Fprintf(&sb, " %s=%g", g.Axis, g.Value)
+	}
+	fmt.Fprintf(&sb, " seed=%d", c.Seed)
+	return sb.String()
+}
+
+func (progress) SweepStarted(exp vdtn.Experiment, opt vdtn.ExperimentOptions, cells int) {
+	fmt.Fprintf(os.Stderr, "%s: %d cells over %d workers\n", exp.ID, cells, opt.Workers)
+}
+
+func (progress) CellFinished(c vdtn.ExperimentCellID, elapsed time.Duration, err error) {
+	status := ""
+	if err != nil {
+		status = " FAILED: " + err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "  [%d/%d] %s %v%s\n",
+		c.Index+1, c.Total, cellLabel(c), elapsed.Round(time.Millisecond), status)
+}
+
+func (progress) CacheEvent(ev vdtn.ExperimentCacheEvent) {
+	// Memory hits are the overwhelmingly common, information-free case.
+	if ev.Kind == vdtn.ExperimentCacheHit {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "  contact cache %v %s %v\n",
+		ev.Kind, ev.Fingerprint, ev.Elapsed.Round(time.Millisecond))
+}
+
+func (progress) SweepFinished(exp vdtn.Experiment, elapsed time.Duration, err error) {
+	status := "done"
+	if err != nil {
+		status = err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s in %v\n", exp.ID, status, elapsed.Round(time.Millisecond))
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var specs specFlags
 	var (
-		figure = flag.String("figure", "all", `experiment id ("fig4".."fig9", "ablation-*", a loaded spec id, or "all")`)
-		seeds  = flag.Int("seeds", 1, "number of replication seeds (1..n)")
-		scale  = flag.Float64("scale", 1, "duration scale (1 = the paper's 12 h)")
-		work   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		outDir = flag.String("out", "", "directory for CSV + JSON results output (optional)")
-		metric = flag.String("metric", "", "render tables under this metric instead of each experiment's default (see -list-metrics)")
-		list   = flag.Bool("list", false, "list experiment ids (built-ins and loaded specs) and exit")
-		listM  = flag.Bool("list-metrics", false, "list metric and axis names and exit")
-		dump   = flag.String("dump-spec", "", "print the named experiment as a JSON sweep spec and exit")
-		useCC  = flag.Bool("contact-cache", false, "record each (scenario, seed) mobility process once and replay it across cells")
-		ccDir  = flag.String("cache-dir", "", "persist recorded contact traces in this directory (implies -contact-cache)")
-		warm   = flag.Bool("prewarm", false, "pre-record all contact traces across the selected experiments before the first sweep (implies -contact-cache)")
-		lazy   = flag.Bool("lazy-record", false, "record contact traces on first touch inside the sweep instead of the parallel pre-recording pass")
-		ccMmap = flag.Bool("cache-mmap", false, "replay persisted traces through zero-copy memory-mapped views instead of decoding them (implies -contact-cache; needs -cache-dir)")
-		ccMax  = flag.Float64("cache-max-mb", 0, "bound the persisted cache directory to this many MB, evicting least-recently-used traces (0 = unbounded)")
-		ccMig  = flag.Bool("migrate-cache", false, "upgrade a legacy flat cache directory to the sharded layout up front (per-trace migration otherwise happens lazily on first touch)")
+		figure   = flag.String("figure", "all", `experiment id ("fig4".."fig9", "ablation-*", a loaded spec id, or "all")`)
+		seeds    = flag.Int("seeds", 0, "number of replication seeds 1..n (0 = the spec's own seeds, else 1)")
+		scale    = flag.Float64("scale", 0, "duration scale (0 = the spec's own scale, else 1 = the paper's 12 h)")
+		work     = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir   = flag.String("out", "", "directory for CSV + JSON results output (optional)")
+		outJSONL = flag.String("out-jsonl", "", "directory for streaming JSONL results (one <id>.jsonl per experiment, written cell by cell)")
+		metric   = flag.String("metric", "", "render tables under this metric instead of each experiment's default (see -list-metrics)")
+		progFlag = flag.Bool("progress", false, "report cell starts/finishes and contact-trace recording passes on stderr")
+		list     = flag.Bool("list", false, "list experiment ids (built-ins and loaded specs) and exit")
+		listM    = flag.Bool("list-metrics", false, "list metric and axis names and exit")
+		dump     = flag.String("dump-spec", "", "print the named experiment as a JSON sweep spec and exit")
+		useCC    = flag.Bool("contact-cache", false, "record each (scenario, seed) mobility process once and replay it across cells")
+		ccDir    = flag.String("cache-dir", "", "persist recorded contact traces in this directory (implies -contact-cache)")
+		warm     = flag.Bool("prewarm", false, "pre-record all contact traces across the selected experiments before the first sweep (implies -contact-cache)")
+		lazy     = flag.Bool("lazy-record", false, "record contact traces on first touch inside the sweep instead of the parallel pre-recording pass")
+		ccMmap   = flag.Bool("cache-mmap", false, "replay persisted traces through zero-copy memory-mapped views instead of decoding them (implies -contact-cache; needs -cache-dir)")
+		ccMax    = flag.Float64("cache-max-mb", 0, "bound the persisted cache directory to this many MB, evicting least-recently-used traces (0 = unbounded)")
+		ccMig    = flag.Bool("migrate-cache", false, "upgrade a legacy flat cache directory to the sharded layout up front (per-trace migration otherwise happens lazily on first touch)")
 	)
 	flag.Var(&specs, "spec", "load a sweep spec file (repeatable); with -figure all, only the loaded specs run")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run cooperatively: cells stop at their
+	// next event checkpoint, partial artifacts flush below, and the
+	// deferred cache Close still writes the store index.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	registry := vdtn.NewExperimentRegistry()
 	var loaded []vdtn.Experiment
 	for _, path := range specs {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		exp, err := vdtn.LoadExperimentSpec(data)
 		if err != nil {
-			fatalf("%s: %v", path, err)
+			return fail("%s: %v", path, err)
 		}
 		if err := registry.Add(exp); err != nil {
-			fatalf("%s: %v", path, err)
+			return fail("%s: %v", path, err)
 		}
 		loaded = append(loaded, exp)
 	}
@@ -110,7 +191,7 @@ func main() {
 		for _, e := range registry.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *listM {
 		fmt.Println("metrics:")
@@ -125,19 +206,19 @@ func main() {
 			}
 			fmt.Printf("  %-18s %-20s %s\n", a.Name, a.Label, kind)
 		}
-		return
+		return 0
 	}
 	if *dump != "" {
 		e, ok := registry.ByID(*dump)
 		if !ok {
-			fatalf("unknown experiment %q; try -list", *dump)
+			return fail("unknown experiment %q; try -list", *dump)
 		}
 		data, err := vdtn.ExperimentSpecJSON(e)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		fmt.Println(string(data))
-		return
+		return 0
 	}
 
 	var todo []vdtn.Experiment
@@ -146,7 +227,7 @@ func main() {
 		e, ok := registry.ByID(*figure)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; try -list\n", *figure)
-			os.Exit(2)
+			return 2
 		}
 		todo = []vdtn.Experiment{e}
 	case len(loaded) > 0:
@@ -166,26 +247,31 @@ func main() {
 		}
 		if !known {
 			fmt.Fprintf(os.Stderr, "experiments: unknown metric %q; try -list-metrics\n", *metric)
-			os.Exit(2)
+			return 2
 		}
 	}
 
-	seedList := make([]uint64, *seeds)
-	for i := range seedList {
-		seedList[i] = uint64(i + 1)
+	// -seeds 0 leaves Seeds empty so a spec's own seed list (or the {1}
+	// default) applies; an explicit flag overrides the spec.
+	var seedList []uint64
+	for i := 0; i < *seeds; i++ {
+		seedList = append(seedList, uint64(i+1))
 	}
 	opt := vdtn.ExperimentOptions{Seeds: seedList, Scale: *scale, Workers: *work, LazyRecord: *lazy}
 	if *useCC || *ccDir != "" || *warm || *ccMmap || *ccMig {
 		if *ccMmap && *ccDir == "" {
 			fmt.Fprintln(os.Stderr, "experiments: -cache-mmap needs -cache-dir (views map persisted traces)")
-			os.Exit(2)
+			return 2
 		}
 		if *ccMig && *ccDir == "" {
 			fmt.Fprintln(os.Stderr, "experiments: -migrate-cache needs -cache-dir (nothing to migrate without a store)")
-			os.Exit(2)
+			return 2
 		}
 		// One cache across all experiments: sweeps over the same scenario
-		// replay the traces the first one recorded.
+		// replay the traces the first one recorded. The deferred Close is
+		// the single cleanup path every exit below flows through — it
+		// releases mapped views and flushes the sharded store's index even
+		// when a sweep fails or is interrupted.
 		opt.ContactCache = &vdtn.ContactCache{
 			Dir:      *ccDir,
 			Mmap:     *ccMmap,
@@ -198,7 +284,7 @@ func main() {
 	if *ccMig {
 		moved, err := opt.ContactCache.MigrateDir()
 		if err != nil {
-			fatalf("cache migration: %v", err)
+			return fail("cache migration: %v", err)
 		}
 		fmt.Printf("migrated %d legacy traces into the sharded cache layout\n", moved)
 	}
@@ -210,13 +296,13 @@ func main() {
 		for _, e := range todo {
 			cc, err := vdtn.ExperimentCellConfigs(e, opt)
 			if err != nil {
-				fatalf("%v", err)
+				return fail("%v", err)
 			}
 			cfgs = append(cfgs, cc...)
 		}
 		start := time.Now()
 		if err := opt.ContactCache.Prewarm(cfgs, *work); err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		fmt.Printf("prewarmed %d contact traces in %v\n\n",
 			opt.ContactCache.Len(), time.Since(start).Round(time.Millisecond))
@@ -225,47 +311,98 @@ func main() {
 		opt.LazyRecord = true
 	}
 
-	if *outDir != "" {
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatalf("%v", err)
+	for _, dir := range []string{*outDir, *outJSONL} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return fail("%v", err)
+			}
 		}
 	}
 
+	var observer vdtn.ExperimentObserver
+	if *progFlag {
+		observer = progress{}
+	}
+
+	interrupted := false
 	for _, e := range todo {
-		start := time.Now()
-		res, err := vdtn.RunExperimentE(e, opt)
-		if err != nil {
-			fatalf("%v", err)
+		code, cancelled := runOne(ctx, e, opt, observer, *metric, *outDir, *outJSONL)
+		if code != 0 && !cancelled {
+			return code
 		}
-		m := e.Metric
-		if *metric != "" {
-			m = vdtn.ExperimentMetric(*metric)
-		}
-		tbl, err := res.Table(m)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Println(tbl.Render())
-		fmt.Printf("(%d runs in %v)\n\n",
-			len(e.Scenarios)*len(e.Xs)*len(seedList), time.Since(start).Round(time.Millisecond))
-		if *outDir != "" {
-			csvPath := filepath.Join(*outDir, e.ID+".csv")
-			if err := os.WriteFile(csvPath, []byte(tbl.CSV()), 0o644); err != nil {
-				fatalf("writing %s: %v", csvPath, err)
-			}
-			artifact, err := res.JSON()
-			if err != nil {
-				fatalf("rendering %s results: %v", e.ID, err)
-			}
-			jsonPath := filepath.Join(*outDir, e.ID+".json")
-			if err := os.WriteFile(jsonPath, append(artifact, '\n'), 0o644); err != nil {
-				fatalf("writing %s: %v", jsonPath, err)
-			}
-			fmt.Printf("wrote %s and %s\n\n", csvPath, jsonPath)
+		if cancelled {
+			interrupted = true
+			break
 		}
 	}
 	if opt.ContactCache != nil {
 		fmt.Printf("contact cache: %d traces held, %d recording passes run\n",
 			opt.ContactCache.Len(), opt.ContactCache.Recorded())
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; partial artifacts flushed")
+		return 130
+	}
+	return 0
+}
+
+// runOne executes one experiment through the Runner and renders whatever
+// its results support. On cancellation it still renders the partial
+// table and flushes partial artifacts (marked incomplete), reporting
+// cancelled=true so the caller stops the remaining experiments and exits
+// non-zero.
+func runOne(ctx context.Context, e vdtn.Experiment, opt vdtn.ExperimentOptions, observer vdtn.ExperimentObserver, metric, outDir, outJSONL string) (code int, cancelled bool) {
+	var mem vdtn.ExperimentMemorySink
+	sinks := []vdtn.ExperimentSink{&mem}
+	if outJSONL != "" {
+		path := filepath.Join(outJSONL, e.ID+".jsonl")
+		f, err := os.Create(path)
+		if err != nil {
+			return fail("%v", err), false
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && code == 0 {
+				code = fail("closing %s: %v", path, cerr)
+			}
+		}()
+		sinks = append(sinks, vdtn.NewExperimentJSONLSink(f))
+	}
+
+	start := time.Now()
+	runner := vdtn.Runner{Options: opt, Observer: observer, Sink: vdtn.TeeExperimentSink(sinks...)}
+	err := runner.Run(ctx, e)
+	cancelled = errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !cancelled {
+		return fail("%v", err), false
+	}
+	res := mem.Results()
+
+	m := e.Metric
+	if metric != "" {
+		m = vdtn.ExperimentMetric(metric)
+	}
+	tbl, terr := res.Table(m)
+	if terr != nil {
+		return fail("%v", terr), cancelled
+	}
+	fmt.Println(tbl.Render())
+	fmt.Printf("(%d/%d runs in %v)\n\n",
+		len(res.Cells), len(e.Scenarios)*e.Combos()*len(e.Xs)*len(res.Options.Seeds),
+		time.Since(start).Round(time.Millisecond))
+	if outDir != "" {
+		csvPath := filepath.Join(outDir, e.ID+".csv")
+		if err := os.WriteFile(csvPath, []byte(tbl.CSV()), 0o644); err != nil {
+			return fail("writing %s: %v", csvPath, err), cancelled
+		}
+		artifact, err := res.JSON()
+		if err != nil {
+			return fail("rendering %s results: %v", e.ID, err), cancelled
+		}
+		jsonPath := filepath.Join(outDir, e.ID+".json")
+		if err := os.WriteFile(jsonPath, append(artifact, '\n'), 0o644); err != nil {
+			return fail("writing %s: %v", jsonPath, err), cancelled
+		}
+		fmt.Printf("wrote %s and %s\n\n", csvPath, jsonPath)
+	}
+	return 0, cancelled
 }

@@ -30,10 +30,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"vdtn"
 	"vdtn/internal/reports"
@@ -295,6 +299,7 @@ func main() {
 	var lg trace.Log
 	var tw *trace.Writer
 	var traceOut *os.File
+	flushTrace := func() {}
 	switch {
 	case *traceFile != "":
 		f, err := os.Create(*traceFile)
@@ -304,10 +309,11 @@ func main() {
 		}
 		traceOut = f
 		buffered := bufio.NewWriter(f)
-		defer func() {
+		flushTrace = func() {
 			buffered.Flush()
 			f.Close()
-		}()
+		}
+		defer flushTrace()
 		tw = trace.NewWriter(buffered)
 		if *analyze {
 			cfg.Trace = func(ev trace.Event) {
@@ -329,9 +335,18 @@ func main() {
 			cfg.Rate, cfg.Range, units.FormatDuration(cfg.Duration))
 	}
 
-	result, err := vdtn.Run(cfg)
+	// SIGINT/SIGTERM cancel the run cooperatively: the simulation stops at
+	// its next event-loop checkpoint and the partial event trace (if any)
+	// is still flushed before the non-zero exit.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	result, err := vdtn.RunContext(ctx, cfg)
+	stopSignals()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vdtnsim: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			flushTrace()
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("%s  (seed %d)\n", result.Label, result.Seed)

@@ -1,6 +1,7 @@
 package vdtn_test
 
 import (
+	"context"
 	"fmt"
 
 	"vdtn"
@@ -53,6 +54,40 @@ func ExampleRun() {
 	fmt.Printf("delivered %d/%d, delay %.0f s\n",
 		result.Delivered, result.Created, result.AvgDelay)
 	// Output: delivered 1/1, delay 7 s
+}
+
+// ExampleRunContext shows cooperative cancellation: the run stops at an
+// event-loop checkpoint and returns the context's error with a zero
+// Result — never a torn one. (A real caller wires the context to a
+// signal or timeout; a pre-cancelled context makes the output
+// deterministic here.)
+func ExampleRunContext() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // e.g. SIGINT
+
+	_, err := vdtn.RunContext(ctx, vdtn.DefaultConfig())
+	fmt.Println(err)
+	// Output: context canceled
+}
+
+// ExampleRunner shows the sweep runner with a pluggable result sink: the
+// memory sink reproduces RunExperimentE, and the same Runner accepts a
+// context for cancellation and an observer for progress.
+func ExampleRunner() {
+	exp, _ := vdtn.ExperimentByID("fig5")
+	exp.Xs = exp.Xs[:1] // one TTL point to keep the example fast
+
+	var mem vdtn.ExperimentMemorySink
+	r := vdtn.Runner{
+		Options: vdtn.ExperimentOptions{Scale: 0.02},
+		Sink:    &mem,
+	}
+	if err := r.Run(context.Background(), exp); err != nil {
+		panic(err)
+	}
+	res := mem.Results()
+	fmt.Println(len(res.Cells), "cells, complete:", res.Complete())
+	// Output: 3 cells, complete: true
 }
 
 // ExampleConfig_Validate shows the validation a scenario goes through.

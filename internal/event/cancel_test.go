@@ -1,0 +1,68 @@
+package event
+
+import "testing"
+
+// TestRunUntilCheckStops: the checkpoint cuts execution between events at
+// the requested stride, leaving the remaining events queued and the clock
+// at the last fired event.
+func TestRunUntilCheckStops(t *testing.T) {
+	s := NewScheduler()
+	var fired []float64
+	for i := 1; i <= 10; i++ {
+		tm := float64(i)
+		s.At(tm, func(now float64) { fired = append(fired, now) })
+	}
+	stop := false
+	cut := s.RunUntilCheck(100, 3, func() bool { return stop || len(fired) >= 6 })
+	if !cut {
+		t.Fatal("check did not cut the run")
+	}
+	// Stride 3: the check fires after events 3, 6, ... so the cut lands
+	// exactly at 6 fired events.
+	if len(fired) != 6 {
+		t.Fatalf("fired %d events before the cut, want 6", len(fired))
+	}
+	if s.Now() != 6 {
+		t.Fatalf("clock at %v after the cut, want 6 (the last fired event)", s.Now())
+	}
+	if s.Len() == 0 {
+		t.Fatal("remaining events were drained by the cut")
+	}
+
+	// Resuming without the stop condition completes normally and advances
+	// the clock to the horizon.
+	if cut := s.RunUntilCheck(100, 3, func() bool { return false }); cut {
+		t.Fatal("check cut a run it always approved")
+	}
+	if len(fired) != 10 || s.Now() != 100 {
+		t.Fatalf("resume fired %d events, clock %v", len(fired), s.Now())
+	}
+}
+
+// TestRunUntilCheckImmediate: a check true before the first event fires
+// nothing.
+func TestRunUntilCheckImmediate(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.At(1, func(float64) { ran = true })
+	if cut := s.RunUntilCheck(10, 1, func() bool { return true }); !cut {
+		t.Fatal("immediate check did not cut")
+	}
+	if ran || s.Now() != 0 {
+		t.Fatalf("immediate cut still ran events (now %v)", s.Now())
+	}
+}
+
+// TestRunUntilCheckNilCheck: a nil check behaves exactly like RunUntil.
+func TestRunUntilCheckNilCheck(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.At(1, func(float64) { n++ })
+	s.At(2, func(float64) { n++ })
+	if cut := s.RunUntilCheck(5, 0, nil); cut {
+		t.Fatal("nil check cut the run")
+	}
+	if n != 2 || s.Now() != 5 {
+		t.Fatalf("nil-check run fired %d events, clock %v", n, s.Now())
+	}
+}

@@ -169,10 +169,29 @@ func (s *Scheduler) Step() bool {
 // min(horizon, last event time); if the horizon cut execution short, the
 // clock is advanced to exactly horizon and the remaining events stay queued.
 func (s *Scheduler) RunUntil(horizon float64) {
+	s.RunUntilCheck(horizon, 0, nil)
+}
+
+// RunUntilCheck is RunUntil with a cooperative cancellation checkpoint:
+// when check is non-nil it is consulted before the first event and then
+// after every stride fired events (stride <= 0 means every event); a true
+// return abandons execution between two events — never inside one — with
+// the remaining events still queued and the clock at the last fired
+// event's time. It reports whether check cut the run short. Because
+// events fire in a deterministic total order, everything executed before
+// the cut is a prefix of what an uninterrupted run would execute.
+func (s *Scheduler) RunUntilCheck(horizon float64, stride uint64, check func() bool) bool {
 	if horizon < s.now {
 		panic(fmt.Sprintf("event: RunUntil(%v) before now %v", horizon, s.now))
 	}
+	if stride == 0 {
+		stride = 1
+	}
+	if check != nil && check() {
+		return true
+	}
 	s.stopped = false
+	var fired uint64
 	for !s.stopped {
 		// Peek for the next live event.
 		var next *Handle
@@ -189,10 +208,15 @@ func (s *Scheduler) RunUntil(horizon float64) {
 			break
 		}
 		s.Step()
+		fired++
+		if check != nil && fired%stride == 0 && check() {
+			return true
+		}
 	}
 	if s.now < horizon {
 		s.now = horizon
 	}
+	return false
 }
 
 // Run executes events until the list drains or Stop is called.

@@ -6,11 +6,49 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"vdtn/internal/scenario"
 	"vdtn/internal/sim"
 	"vdtn/internal/wireless"
 )
+
+// CacheEventKind classifies one contact-cache lookup outcome.
+type CacheEventKind int
+
+const (
+	// CacheHit: the trace was already memoized in this cache's memory.
+	CacheHit CacheEventKind = iota
+	// CacheHitDisk: the trace was loaded (or mmap-opened) from the
+	// persisted store; Elapsed is the load time.
+	CacheHitDisk
+	// CacheRecorded: a miss — the recording pass actually ran; Elapsed is
+	// its cost.
+	CacheRecorded
+)
+
+// String names the event kind for progress output.
+func (k CacheEventKind) String() string {
+	switch k {
+	case CacheHit:
+		return "hit"
+	case CacheHitDisk:
+		return "hit(disk)"
+	case CacheRecorded:
+		return "recorded"
+	default:
+		return fmt.Sprintf("CacheEventKind(%d)", int(k))
+	}
+}
+
+// CacheEvent is one contact-cache lookup outcome, delivered to the
+// observer a Runner threads through the sweep (Observer.CacheEvent).
+type CacheEvent struct {
+	Kind        CacheEventKind
+	Fingerprint string
+	// Elapsed is the recording or disk-load cost; zero for memory hits.
+	Elapsed time.Duration
+}
 
 // ContactCache memoizes recorded contact traces by scenario fingerprint,
 // so a sweep's many (series, x) cells that share one (scenario, seed)
@@ -113,12 +151,23 @@ func (cc *ContactCache) store() *traceStore {
 // recording it on first use. The returned recording is shared and must be
 // treated as immutable.
 func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
+	return cc.recordingWith(cfg, nil)
+}
+
+// recordingWith is Recording with a cache-event hook: note (when non-nil)
+// learns whether this lookup hit memory, loaded from disk, or ran the
+// recording pass. Only the single-flight winner observes the disk-load or
+// recording event; callers that waited behind it (or arrived later)
+// observe a memory hit.
+func (cc *ContactCache) recordingWith(cfg sim.Config, note func(CacheEvent)) (*wireless.Recording, error) {
 	if cfg.Plan != nil {
 		return nil, fmt.Errorf("experiments: contact cache cannot serve a contact-plan scenario")
 	}
 	key := scenario.ContactFingerprint(cfg)
 	e := cc.entry(key)
+	ran := false
 	e.once.Do(func() {
+		ran = true
 		// The recover runs inside the once: a panic escaping here would
 		// mark the once done with (nil, nil), handing every later caller a
 		// nil trace with no error.
@@ -127,8 +176,11 @@ func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
 				e.err = fmt.Errorf("experiments: recording %s panicked: %v", key, r)
 			}
 		}()
-		e.rec, e.err = cc.load(key, cfg)
+		e.rec, e.err = cc.load(key, cfg, note)
 	})
+	if !ran && note != nil && e.err == nil {
+		note(CacheEvent{Kind: CacheHit, Fingerprint: key})
+	}
 	return e.rec, e.err
 }
 
@@ -139,36 +191,55 @@ func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
 // falls back to the slurp path after reporting through Warn, so Source
 // never fails where Recording would succeed.
 func (cc *ContactCache) Source(cfg sim.Config) (wireless.ReplaySource, error) {
+	return cc.sourceWith(cfg, nil)
+}
+
+// sourceWith is Source with the cache-event hook of recordingWith.
+func (cc *ContactCache) sourceWith(cfg sim.Config, note func(CacheEvent)) (wireless.ReplaySource, error) {
 	if cfg.Plan != nil {
 		return nil, fmt.Errorf("experiments: contact cache cannot serve a contact-plan scenario")
 	}
 	if cc.Dir == "" || !cc.Mmap {
-		return cc.Recording(cfg)
+		return cc.recordingWith(cfg, note)
 	}
 	key := scenario.ContactFingerprint(cfg)
 	e := cc.entry(key)
+	ran := false
 	e.viewOnce.Do(func() {
+		ran = true
 		// The budget check runs once per view materialization (the
 		// recording path GCs again on persist), never on memoized hits —
 		// a GC pass walks the whole store.
 		defer cc.gcAfterUse()
+		start := time.Now()
 		if v := cc.openView(key, cfg); v != nil {
 			e.view = v
+			if note != nil {
+				note(CacheEvent{Kind: CacheHitDisk, Fingerprint: key, Elapsed: time.Since(start)})
+			}
 			return
 		}
 		// No usable persisted copy: record (and persist) through the slurp
 		// path, then map the freshly written shard. A second openView
 		// failure here means persistence itself failed (full disk,
 		// read-only dir) and the in-memory fallback below serves the key.
-		if _, err := cc.Recording(cfg); err != nil {
+		if _, err := cc.recordingWith(cfg, note); err != nil {
 			return
 		}
 		e.view = cc.openView(key, cfg)
 	})
 	if e.view != nil {
+		if !ran && note != nil {
+			note(CacheEvent{Kind: CacheHit, Fingerprint: key})
+		}
 		return e.view, nil
 	}
-	return cc.Recording(cfg)
+	if ran {
+		// This call already delivered its events inside the viewOnce; the
+		// in-memory fallback must not double-report the key as a hit.
+		note = nil
+	}
+	return cc.recordingWith(cfg, note)
 }
 
 // openView maps and verifies the persisted trace for key. nil means no
@@ -227,13 +298,14 @@ func contactCanonical(cfg sim.Config) sim.Config {
 // is also memoized per key, so later Recording calls for that key report
 // it again with their own context.
 func (cc *ContactCache) Prewarm(cfgs []sim.Config, workers int) error {
-	return cc.prewarm(cfgs, workers, nil)
+	return cc.prewarm(cfgs, workers, nil, nil)
 }
 
-// prewarm is Prewarm with a stop hook: when stop becomes true, remaining
+// prewarm is Prewarm with a stop hook — when stop becomes true, remaining
 // un-started recordings are skipped (the sweep runner stops warming a
-// cache whose sweep has already failed).
-func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool) error {
+// cache whose sweep has already failed or been cancelled) — and the
+// cache-event hook of recordingWith.
+func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool, note func(CacheEvent)) error {
 	seen := make(map[string]bool)
 	var distinct []sim.Config
 	for _, cfg := range cfgs {
@@ -267,7 +339,7 @@ func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool
 				if stop != nil && stop() {
 					continue
 				}
-				if _, err := cc.Recording(distinct[i]); err != nil {
+				if _, err := cc.recordingWith(distinct[i], note); err != nil {
 					errs[i] = fmt.Errorf("experiments: prewarm %s: %w",
 						scenario.ContactFingerprint(distinct[i]), err)
 				}
@@ -284,16 +356,23 @@ func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool
 
 // load fills one cache entry: from disk if persisted, else by running the
 // contacts-only recording pass (and persisting it when Dir is set).
-func (cc *ContactCache) load(key string, cfg sim.Config) (*wireless.Recording, error) {
+func (cc *ContactCache) load(key string, cfg sim.Config, note func(CacheEvent)) (*wireless.Recording, error) {
 	st := cc.store()
+	start := time.Now()
 	if st != nil {
 		if rec := cc.fromDisk(key, cfg, st); rec != nil {
+			if note != nil {
+				note(CacheEvent{Kind: CacheHitDisk, Fingerprint: key, Elapsed: time.Since(start)})
+			}
 			return rec, nil
 		}
 	}
 	rec, err := sim.RecordContacts(contactCanonical(cfg))
 	if err != nil {
 		return nil, err
+	}
+	if note != nil {
+		note(CacheEvent{Kind: CacheRecorded, Fingerprint: key, Elapsed: time.Since(start)})
 	}
 	cc.mu.Lock()
 	cc.records++

@@ -57,11 +57,11 @@ func TestCachedRunMatchesUncached(t *testing.T) {
 	exp := cacheExperiment()
 	opt := Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig}
 
-	plain := Run(exp, opt)
+	plain := mustRun(t, exp, opt)
 
 	cache := &ContactCache{}
 	opt.ContactCache = cache
-	cached := Run(exp, opt)
+	cached := mustRun(t, exp, opt)
 
 	if !reflect.DeepEqual(plain.Series, cached.Series) {
 		t.Fatalf("cached table diverged from uncached:\nplain:  %+v\ncached: %+v", plain.Series, cached.Series)
@@ -148,7 +148,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 func TestCacheRaceUnderWorkerPool(t *testing.T) {
 	cache := &ContactCache{}
 	exp := cacheExperiment()
-	tbl := Run(exp, Options{Seeds: []uint64{1, 2, 3}, Workers: 8, BaseConfig: cacheConfig, ContactCache: cache})
+	tbl := mustRun(t, exp, Options{Seeds: []uint64{1, 2, 3}, Workers: 8, BaseConfig: cacheConfig, ContactCache: cache})
 	if len(tbl.Series) != 3 {
 		t.Fatalf("series = %d, want 3", len(tbl.Series))
 	}
@@ -475,8 +475,7 @@ func TestPrewarmSkipsUncacheableConfigs(t *testing.T) {
 }
 
 // TestRunEReportsCellCoordinates: one bad cell must not kill the process;
-// RunE names its (series, x, seed) coordinates, and the Run wrapper turns
-// that into a panic for legacy callers.
+// RunE names its (series, x, seed) coordinates.
 func TestRunEReportsCellCoordinates(t *testing.T) {
 	exp := cacheExperiment()
 	// x=-15 produces an invalid config (negative TTL); the other cells
@@ -498,12 +497,6 @@ func TestRunEReportsCellCoordinates(t *testing.T) {
 			}
 		})
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Run did not panic on a cell error")
-		}
-	}()
-	Run(exp, Options{Seeds: []uint64{1}, BaseConfig: cacheConfig})
 }
 
 // TestRunELazyMatchesPrewarmed: the pre-recording pass is a scheduling

@@ -1,17 +1,22 @@
 // Package experiments defines and runs sweep experiments: the paper's
 // evaluation figures, the DESIGN.md ablations, and any user-defined sweep
-// expressed on the same vocabulary — a parallel multi-seed runner over a
-// (series × axis-value × seed) cell grid, a full-Result store per cell,
-// and table/CSV/JSON rendering of any metric view.
+// expressed on the same vocabulary — a context-aware Runner over a
+// (series × axis-values × seed) cell grid, pluggable result sinks, and
+// table/CSV/JSON rendering of any metric view.
 //
 // Every experiment is a family of scenarios (series) swept over one named
 // axis (message TTL for the paper's figures; link rate, buffer size, copy
-// budget, fleet or relay count for the ablations — see scenario.Axes).
-// Each (series, x, seed) cell is one full simulation run; cells are
-// independent, so the runner fans them out over a worker pool. The
-// complete sim.Result of every cell is kept (Results); per-cell
-// replications aggregate into mean ± 95% CI under whichever metric a
-// Table view selects.
+// budget, fleet or relay count for the ablations — see scenario.Axes) or,
+// for grid sweeps, over the cross-product of several (Experiment.Grid).
+// Each (series, grid, x, seed) cell is one full simulation run; cells are
+// independent, so the Runner fans them out over a worker pool, delivering
+// finished cells to its ResultSink in deterministic aggregation order and
+// reporting progress through its Observer. Cancelling the Runner's
+// context stops in-flight cells at an event-loop checkpoint, so sinks
+// only ever hold complete, valid cells. The complete sim.Result of every
+// cell is kept (Results, or streamed via JSONLSink for sweeps too large
+// for memory); per-cell replications aggregate into mean ± 95% CI under
+// whichever metric a Table view selects.
 //
 // Experiments are data, not code: an Experiment is fully described by
 // axis names, values and settings, so it round-trips through the scenario
@@ -20,11 +25,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
+	"strings"
 
 	"vdtn/internal/scenario"
 	"vdtn/internal/sim"
@@ -69,6 +74,13 @@ type Scenario struct {
 	Set []Setting
 }
 
+// GridAxis is one swept dimension of a multi-axis grid sweep: a named
+// axis and its values, in plot order.
+type GridAxis struct {
+	Axis   string    `json:"axis"`
+	Values []float64 `json:"values"`
+}
+
 // Experiment is one reproducible sweep: a figure, an ablation, or a
 // user-defined spec.
 type Experiment struct {
@@ -76,14 +88,27 @@ type Experiment struct {
 	ID string
 	// Title describes what the sweep shows.
 	Title string
-	// Axis names the swept parameter (scenario.AxisByName); its label
-	// heads the x column of rendered tables.
+	// Axis names the primary swept parameter (scenario.AxisByName); its
+	// label heads the x column of rendered tables.
 	Axis string
-	// Xs are the swept values, in plot order.
+	// Xs are the primary swept values, in plot order.
 	Xs []float64
+	// Grid holds the secondary axes of a multi-axis grid sweep. Cells are
+	// the cross-product of Xs and every grid axis's values; tables render
+	// one sub-series per (series, grid combination). Empty means a plain
+	// single-axis sweep. Grid values apply to the config after the primary
+	// value, so a mobility-moving grid axis forks the contact cache per
+	// combination exactly like a mobility-moving primary axis does.
+	Grid []GridAxis
 	// Metric is the default reported metric; any other metric can be
 	// rendered from the finished Results.
 	Metric Metric
+	// Seeds and Scale are spec-level defaults for the matching
+	// Options fields, applied when the options leave them zero (spec files
+	// carry them in the sweep block). Explicit ExperimentOptions always
+	// win.
+	Seeds []uint64
+	Scale float64
 	// Set holds experiment-wide fixed axis settings, applied to every
 	// cell before the swept value (e.g. pinning ttl_min=120 in a non-TTL
 	// ablation).
@@ -104,8 +129,8 @@ type Experiment struct {
 }
 
 // validate reports the first structural problem that would make every
-// cell fail, so RunE rejects a malformed experiment before burning a
-// sweep's wall clock on it.
+// cell fail, so the runner rejects a malformed experiment before burning
+// a sweep's wall clock on it.
 func (e Experiment) validate() error {
 	if len(e.Xs) == 0 {
 		return fmt.Errorf("experiments: %s sweeps no values", e.ID)
@@ -116,10 +141,92 @@ func (e Experiment) validate() error {
 	if _, ok := scenario.AxisByName(e.Axis); !ok {
 		return fmt.Errorf("experiments: %s: unknown axis %q (known: %v)", e.ID, e.Axis, axisNames())
 	}
+	seenAxes := map[string]bool{e.Axis: true}
+	for _, g := range e.Grid {
+		if _, ok := scenario.AxisByName(g.Axis); !ok {
+			return fmt.Errorf("experiments: %s: unknown grid axis %q (known: %v)", e.ID, g.Axis, axisNames())
+		}
+		if seenAxes[g.Axis] {
+			return fmt.Errorf("experiments: %s: axis %q swept twice", e.ID, g.Axis)
+		}
+		seenAxes[g.Axis] = true
+		if len(g.Values) == 0 {
+			return fmt.Errorf("experiments: %s: grid axis %q sweeps no values", e.ID, g.Axis)
+		}
+	}
+	seenSeeds := map[uint64]bool{}
+	for _, s := range e.Seeds {
+		if seenSeeds[s] {
+			return fmt.Errorf("experiments: %s: duplicate seed %d", e.ID, s)
+		}
+		seenSeeds[s] = true
+	}
+	if e.Scale < 0 {
+		return fmt.Errorf("experiments: %s: negative scale %v", e.ID, e.Scale)
+	}
 	if err := e.Metric.valid(); err != nil {
 		return fmt.Errorf("experiments: %s: %w", e.ID, err)
 	}
 	return nil
+}
+
+// Combos returns the number of secondary-axis value combinations — the
+// factor the grid multiplies every (series, x, seed) count by. 1 for a
+// single-axis sweep.
+func (e Experiment) Combos() int {
+	n := 1
+	for _, g := range e.Grid {
+		n *= len(g.Values)
+	}
+	return n
+}
+
+// comboValues decodes combination index ci into one value per grid axis,
+// row-major with the first grid axis outermost.
+func (e Experiment) comboValues(ci int) []float64 {
+	if len(e.Grid) == 0 {
+		return nil
+	}
+	vals := make([]float64, len(e.Grid))
+	for i := len(e.Grid) - 1; i >= 0; i-- {
+		n := len(e.Grid[i].Values)
+		vals[i] = e.Grid[i].Values[ci%n]
+		ci /= n
+	}
+	return vals
+}
+
+// comboSettings renders combination ci as declarative settings, the form
+// cell configs and progress reports consume.
+func (e Experiment) comboSettings(ci int) []Setting {
+	vals := e.comboValues(ci)
+	set := make([]Setting, len(vals))
+	for i, v := range vals {
+		set[i] = Setting{Axis: e.Grid[i].Axis, Value: v}
+	}
+	return set
+}
+
+// comboLabel renders combination ci for table sub-series names and cell
+// error coordinates ("ttl_min=120 copies=4").
+func (e Experiment) comboLabel(ci int) string {
+	vals := e.comboValues(ci)
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%s=%s", e.Grid[i].Axis, trimFloat(v))
+	}
+	return strings.Join(parts, " ")
+}
+
+// seriesName labels the (series, combination) line: the bare series name
+// for single-axis sweeps (pinning the pre-grid table output), the name
+// plus the combination's axis assignments for grids.
+func (e Experiment) seriesName(si, ci int) string {
+	name := e.Scenarios[si].Name
+	if len(e.Grid) == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s [%s]", name, e.comboLabel(ci))
 }
 
 // Options controls a run of the harness.
@@ -166,6 +273,19 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// normalizedFor resolves the run options against exp's spec-level
+// defaults: explicit Options win, then the experiment's own Seeds/Scale
+// (spec files carry them), then the global defaults ({1}, GOMAXPROCS, 1).
+func (o Options) normalizedFor(exp Experiment) Options {
+	if len(o.Seeds) == 0 {
+		o.Seeds = append([]uint64(nil), exp.Seeds...)
+	}
+	if o.Scale <= 0 {
+		o.Scale = exp.Scale
+	}
+	return o.normalized()
+}
+
 // base resolves the scenario template for exp: explicit Options override,
 // then the experiment's own base (spec files), then the paper scenario.
 func (o Options) base(exp Experiment) func() sim.Config {
@@ -178,30 +298,47 @@ func (o Options) base(exp Experiment) func() sim.Config {
 	return sim.DefaultConfig
 }
 
-// job identifies one (series, x, seed) cell of a sweep.
+// job identifies one (series, grid combination, x, seed) cell of a sweep.
 type job struct {
 	scenario int
+	combo    int
 	xi       int
 	seed     uint64
 }
 
-// cellJobs enumerates every cell of the sweep in aggregation order.
+// cellJobs enumerates every cell of the sweep in aggregation order:
+// series-major, then grid combination, then x, then seed. Single-axis
+// sweeps have one combination, reproducing the pre-grid order exactly.
 func cellJobs(exp Experiment, opt Options) []job {
 	var jobs []job
 	for si := range exp.Scenarios {
-		for xi := range exp.Xs {
-			for _, seed := range opt.Seeds {
-				jobs = append(jobs, job{si, xi, seed})
+		for ci := 0; ci < exp.Combos(); ci++ {
+			for xi := range exp.Xs {
+				for _, seed := range opt.Seeds {
+					jobs = append(jobs, job{si, ci, xi, seed})
+				}
 			}
 		}
 	}
 	return jobs
 }
 
+// cellResult labels j's completed run with its sweep coordinates.
+func cellResult(exp Experiment, j job, r sim.Result) CellResult {
+	return CellResult{
+		Series: exp.Scenarios[j.scenario].Name,
+		X:      exp.Xs[j.xi],
+		Grid:   exp.comboSettings(j.combo),
+		Seed:   j.seed,
+		Result: r,
+	}
+}
+
 // cellConfig materializes one cell's full configuration: base template,
 // scale, series protocol/policy, seed, the experiment-wide settings, the
-// swept axis value, then the series settings. Unknown axes surface here,
-// so RunE reports them with the failing cell's coordinates.
+// swept primary value, the grid combination's values, then the series
+// settings. Unknown axes surface here, so the runner reports them with
+// the failing cell's coordinates.
 func cellConfig(exp Experiment, opt Options, j job) (sim.Config, error) {
 	cfg := opt.base(exp)()
 	cfg.Duration *= opt.Scale
@@ -220,6 +357,11 @@ func cellConfig(exp Experiment, opt Options, j job) (sim.Config, error) {
 	if err := (Setting{Axis: exp.Axis, Value: exp.Xs[j.xi]}).apply(&cfg); err != nil {
 		return sim.Config{}, err
 	}
+	for _, s := range exp.comboSettings(j.combo) {
+		if err := s.apply(&cfg); err != nil {
+			return sim.Config{}, err
+		}
+	}
 	for _, s := range sc.Set {
 		if err := s.apply(&cfg); err != nil {
 			return sim.Config{}, err
@@ -228,18 +370,23 @@ func cellConfig(exp Experiment, opt Options, j job) (sim.Config, error) {
 	return cfg, nil
 }
 
-// cellErrorf wraps a cell failure with its (series, x, seed) coordinates,
-// so one bad cell out of hundreds is findable.
+// cellErrorf wraps a cell failure with its (series, grid, x, seed)
+// coordinates, so one bad cell out of hundreds is findable.
 func cellErrorf(exp Experiment, j job, err error) error {
-	return fmt.Errorf("experiments: %s cell (series %q, x=%v, seed %d): %w",
-		exp.ID, exp.Scenarios[j.scenario].Name, exp.Xs[j.xi], j.seed, err)
+	grid := ""
+	if len(exp.Grid) > 0 {
+		grid = fmt.Sprintf(", grid [%s]", exp.comboLabel(j.combo))
+	}
+	return fmt.Errorf("experiments: %s cell (series %q, x=%v%s, seed %d): %w",
+		exp.ID, exp.Scenarios[j.scenario].Name, exp.Xs[j.xi], grid, j.seed, err)
 }
 
-// runCell executes one (series, x, seed) cell and returns its complete
-// result. Panics out of the simulation stack are converted into errors,
-// so a worker goroutine never kills the whole sweep — the cell is
-// reported with its coordinates by RunE instead.
-func runCell(exp Experiment, opt Options, j job) (res sim.Result, err error) {
+// runCell executes one cell to completion (or cancellation) and returns
+// its complete result. Panics out of the simulation stack are converted
+// into errors, so a worker goroutine never kills the whole sweep — the
+// cell is reported with its coordinates by the runner instead. Cache
+// events for the cell's contact-trace lookup flow to note (may be nil).
+func runCell(ctx context.Context, exp Experiment, opt Options, j job, note func(CacheEvent)) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
@@ -256,7 +403,7 @@ func runCell(exp Experiment, opt Options, j job) (res sim.Result, err error) {
 	// ContactCache.Mmap, a zero-copy mmap view every cell (and process)
 	// replays from the page cache.
 	if opt.ContactCache != nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
-		src, rerr := opt.ContactCache.Source(cfg)
+		src, rerr := opt.ContactCache.sourceWith(cfg, note)
 		if rerr != nil {
 			return sim.Result{}, rerr
 		}
@@ -267,15 +414,15 @@ func runCell(exp Experiment, opt Options, j job) (res sim.Result, err error) {
 	if nerr != nil {
 		return sim.Result{}, nerr
 	}
-	return w.Run(), nil
+	return w.RunContext(ctx)
 }
 
 // CellConfigs returns the fully materialized configuration of every
-// (series, x, seed) cell of the sweep, in aggregation order — what
+// (series, grid, x, seed) cell of the sweep, in aggregation order — what
 // ContactCache.Prewarm wants when pre-recording traces across several
 // experiments before any of them runs.
 func CellConfigs(exp Experiment, opt Options) ([]sim.Config, error) {
-	opt = opt.normalized()
+	opt = opt.normalizedFor(exp)
 	jobs := cellJobs(exp, opt)
 	cfgs := make([]sim.Config, len(jobs))
 	for i, j := range jobs {
@@ -288,117 +435,23 @@ func CellConfigs(exp Experiment, opt Options) ([]sim.Config, error) {
 	return cfgs, nil
 }
 
-// Run executes the experiment under opt and renders its default metric
-// table. It is a thin wrapper over RunE that panics on an error; call
-// RunE to handle failures (a bad map, an invalid swept value, an unknown
-// axis or metric, an unusable cache entry) without killing the process.
-func Run(exp Experiment, opt Options) Table {
-	res, err := RunE(exp, opt)
-	if err != nil {
-		panic(err.Error())
-	}
-	return res.DefaultTable()
-}
-
 // RunE executes the experiment under opt and stores every cell's complete
-// sim.Result. Cells run on a worker pool; the first failing cell (in
-// aggregation order) aborts the sweep and is reported with its (series,
-// x, seed) coordinates. A structurally bad experiment (unknown axis or
-// metric, empty sweep) is rejected before any cell runs. When
-// opt.ContactCache is set, the distinct contact traces the sweep needs
-// are recorded by a parallel prewarm pool running alongside the cell
-// workers (see Options.LazyRecord to disable).
+// sim.Result. It is the uncancellable convenience form of Runner.Run
+// with a memory sink: cells run on a worker pool; the first failing cell
+// (in aggregation order) aborts the sweep and is reported with its
+// (series, grid, x, seed) coordinates. A structurally bad experiment
+// (unknown axis or metric, empty sweep) is rejected before any cell runs.
+// When opt.ContactCache is set, the distinct contact traces the sweep
+// needs are recorded by a parallel prewarm pool running alongside the
+// cell workers (see Options.LazyRecord to disable). Use a Runner directly
+// for cancellation, progress observation, or streaming sinks.
 func RunE(exp Experiment, opt Options) (*Results, error) {
-	opt = opt.normalized()
-	if err := exp.validate(); err != nil {
+	var mem MemorySink
+	r := Runner{Options: opt, Sink: &mem}
+	if err := r.Run(context.Background(), exp); err != nil {
 		return nil, err
 	}
-	jobs := cellJobs(exp, opt)
-
-	// Warm the cache concurrently with cell execution: the prewarm pool
-	// records distinct (scenario, seed) traces the cell workers have not
-	// reached yet, so recordings run in parallel instead of serializing
-	// behind first-touch single-flight — without a barrier that would keep
-	// early cells from overlapping the remaining recording passes.
-	// Prewarm failures are deliberately dropped: the cache memoizes each
-	// key's error, so the failing cell reports it below with its
-	// (series, x, seed) coordinates instead of a bare fingerprint. The
-	// failed flag doubles as the pool's stop signal, so a dead sweep does
-	// not keep recording traces nobody will use.
-	var failed atomic.Bool
-	var prewarmed chan struct{}
-	if opt.ContactCache != nil && !opt.LazyRecord {
-		var cfgs []sim.Config
-		for _, j := range jobs {
-			// A cell whose config cannot materialize is skipped here; its
-			// worker reports the error with full coordinates below.
-			if cfg, err := cellConfig(exp, opt, j); err == nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
-				cfgs = append(cfgs, cfg)
-			}
-		}
-		prewarmed = make(chan struct{})
-		go func() {
-			defer close(prewarmed)
-			_ = opt.ContactCache.prewarm(cfgs, opt.Workers, failed.Load)
-		}()
-	}
-
-	results := make([]sim.Result, len(jobs))
-	errs := make([]error, len(jobs))
-
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ji := range next {
-				// After the first failure the sweep is dead either way, so
-				// remaining cells are drained, not simulated — a bad first
-				// cell must not cost the whole sweep's wall clock.
-				if failed.Load() {
-					continue
-				}
-				j := jobs[ji]
-				r, err := runCell(exp, opt, j)
-				if err != nil {
-					errs[ji] = cellErrorf(exp, j, err)
-					failed.Store(true)
-					continue
-				}
-				results[ji] = r
-			}
-		}()
-	}
-	for ji := range jobs {
-		next <- ji
-	}
-	close(next)
-	wg.Wait()
-	if prewarmed != nil {
-		// On success every key is memoized and the pool finishes
-		// immediately; on failure the failed flag makes it skip whatever it
-		// had not started. Either way the wait only keeps its goroutines
-		// from outliving the run.
-		<-prewarmed
-	}
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	res := &Results{Experiment: exp, Options: opt, Cells: make([]CellResult, len(jobs))}
-	for i, j := range jobs {
-		res.Cells[i] = CellResult{
-			Series: exp.Scenarios[j.scenario].Name,
-			X:      exp.Xs[j.xi],
-			Seed:   j.seed,
-			Result: results[i],
-		}
-	}
-	return res, nil
+	return mem.Results(), nil
 }
 
 // --- catalog ---------------------------------------------------------------

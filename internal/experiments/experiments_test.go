@@ -165,7 +165,7 @@ func TestUnknownAxisIsError(t *testing.T) {
 }
 
 func TestRunAggregates(t *testing.T) {
-	tbl := Run(tinyExperiment(), Options{
+	tbl := mustRun(t, tinyExperiment(), Options{
 		Seeds:      []uint64{1, 2, 3},
 		BaseConfig: tinyBase,
 	})
@@ -258,8 +258,8 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	opts := func(workers int) Options {
 		return Options{Seeds: []uint64{1, 2}, Workers: workers, BaseConfig: tinyBase}
 	}
-	serial := Run(tinyExperiment(), opts(1))
-	parallel := Run(tinyExperiment(), opts(8))
+	serial := mustRun(t, tinyExperiment(), opts(1))
+	parallel := mustRun(t, tinyExperiment(), opts(8))
 	for si := range serial.Series {
 		for ci := range serial.Series[si].Cells {
 			a := serial.Series[si].Cells[ci].Summary
@@ -272,7 +272,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRenderAndCSV(t *testing.T) {
-	tbl := Run(tinyExperiment(), Options{Seeds: []uint64{1}, BaseConfig: tinyBase})
+	tbl := mustRun(t, tinyExperiment(), Options{Seeds: []uint64{1}, BaseConfig: tinyBase})
 	text := tbl.Render()
 	for _, want := range []string{"tiny", "ttl(min)", "FIFO-FIFO", "Lifetime", "10", "20"} {
 		if !strings.Contains(text, want) {
@@ -298,12 +298,12 @@ func TestRenderAndCSV(t *testing.T) {
 func TestScaleShortensRuns(t *testing.T) {
 	exp := tinyExperiment()
 	exp.Xs = []float64{20}
-	full := Run(exp, Options{Seeds: []uint64{1}, BaseConfig: tinyBase})
+	full := mustRun(t, exp, Options{Seeds: []uint64{1}, BaseConfig: tinyBase})
 	_ = full
 	// Scale is applied to duration; a scaled run must still work and
 	// produce fewer created messages, which we can only observe through
 	// the metric staying in range here.
-	scaled := Run(exp, Options{Seeds: []uint64{1}, Scale: 0.5, BaseConfig: tinyBase})
+	scaled := mustRun(t, exp, Options{Seeds: []uint64{1}, Scale: 0.5, BaseConfig: tinyBase})
 	if got := scaled.Series[0].Cells[0].Summary.Mean; got < 0 || got > 1 {
 		t.Fatalf("scaled run metric out of range: %v", got)
 	}

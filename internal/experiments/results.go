@@ -11,57 +11,84 @@ import (
 	"vdtn/internal/stats"
 )
 
-// CellResult is one completed (series, x, seed) cell carrying the full
-// sim.Result — nothing is thrown away at run time, so any metric can be
-// rendered later from the same sweep.
+// CellResult is one completed (series, grid, x, seed) cell carrying the
+// full sim.Result — nothing is thrown away at run time, so any metric can
+// be rendered later from the same sweep.
 type CellResult struct {
-	Series string     `json:"series"`
-	X      float64    `json:"x"`
+	Series string  `json:"series"`
+	X      float64 `json:"x"`
+	// Grid holds the cell's secondary axis assignments; empty for
+	// single-axis sweeps.
+	Grid   []Setting  `json:"grid,omitempty"`
 	Seed   uint64     `json:"seed"`
 	Result sim.Result `json:"result"`
 }
 
 // Results is the store a finished sweep produces: every cell's full
-// Result in aggregation order (series-major, then x, then seed). Table
-// renders any metric view over it; JSON emits the machine-readable
-// artifact.
+// Result in aggregation order (series-major, then grid combination, then
+// x, then seed). Table renders any metric view over it; JSON emits the
+// machine-readable artifact. A Results from an interrupted sweep (a
+// cancelled Runner with a MemorySink) holds the completed prefix; the
+// renderers emit only its complete (series, grid, x) groups, so partial
+// artifacts are always valid.
 type Results struct {
 	Experiment Experiment
 	Options    Options
 	Cells      []CellResult
 }
 
-// at returns the replicated results of one (series, x) point.
-func (r *Results) at(si, xi int) []CellResult {
+// at returns the replicated results of one (series, combo, x) point, or
+// nil when the store's prefix does not cover the whole group (an
+// interrupted sweep).
+func (r *Results) at(si, ci, xi int) []CellResult {
 	perSeed := len(r.Options.Seeds)
 	perX := len(r.Experiment.Xs) * perSeed
-	base := si*perX + xi*perSeed
+	perSeries := r.Experiment.Combos() * perX
+	base := si*perSeries + ci*perX + xi*perSeed
+	if base+perSeed > len(r.Cells) {
+		return nil
+	}
 	return r.Cells[base : base+perSeed]
 }
 
+// Complete reports whether the store holds every cell of the sweep —
+// false for the prefix an interrupted sweep leaves behind.
+func (r *Results) Complete() bool {
+	return len(r.Cells) == len(r.Experiment.Scenarios)*r.Experiment.Combos()*len(r.Experiment.Xs)*len(r.Options.Seeds)
+}
+
 // Table aggregates one metric view over the stored results: per (series,
-// x) cell, the metric of each seed's Result summarized into mean ± CI.
-// An unknown metric is an error.
+// grid, x) cell, the metric of each seed's Result summarized into
+// mean ± CI. Grid sweeps render one sub-series per (series, grid
+// combination), named "series [axis=v ...]". Incomplete trailing groups
+// of an interrupted sweep are omitted. An unknown metric is an error.
 func (r *Results) Table(m Metric) (Table, error) {
 	if err := m.valid(); err != nil {
 		return Table{}, err
 	}
 	t := Table{Experiment: r.Experiment, Options: r.Options, Metric: m}
-	for si, sc := range r.Experiment.Scenarios {
-		s := Series{Name: sc.Name}
-		for xi, x := range r.Experiment.Xs {
-			cells := r.at(si, xi)
-			xs := make([]float64, len(cells))
-			for i, c := range cells {
-				v, err := m.Value(c.Result)
-				if err != nil {
-					return Table{}, err
+	for si := range r.Experiment.Scenarios {
+		for ci := 0; ci < r.Experiment.Combos(); ci++ {
+			s := Series{Name: r.Experiment.seriesName(si, ci)}
+			for xi, x := range r.Experiment.Xs {
+				cells := r.at(si, ci, xi)
+				if cells == nil {
+					break // interrupted sweep: the rest of this line is missing
 				}
-				xs[i] = v
+				xs := make([]float64, len(cells))
+				for i, c := range cells {
+					v, err := m.Value(c.Result)
+					if err != nil {
+						return Table{}, err
+					}
+					xs[i] = v
+				}
+				s.Cells = append(s.Cells, Cell{X: x, Summary: stats.Summarize(xs)})
 			}
-			s.Cells = append(s.Cells, Cell{X: x, Summary: stats.Summarize(xs)})
+			if len(s.Cells) > 0 {
+				t.Series = append(t.Series, s)
+			}
 		}
-		t.Series = append(t.Series, s)
 	}
 	return t, nil
 }
@@ -101,8 +128,11 @@ type jsonCell struct {
 }
 
 type jsonSeries struct {
-	Name  string     `json:"name"`
-	Cells []jsonCell `json:"cells"`
+	Name string `json:"name"`
+	// Grid carries the sub-series' secondary axis assignments for grid
+	// sweeps; absent on single-axis sweeps.
+	Grid  map[string]float64 `json:"grid,omitempty"`
+	Cells []jsonCell         `json:"cells"`
 }
 
 // jsonArtifact is the machine-readable form of a finished sweep.
@@ -111,53 +141,73 @@ type jsonArtifact struct {
 	Title      string       `json:"title"`
 	Axis       string       `json:"axis"`
 	AxisLabel  string       `json:"axis_label"`
+	Grid       []GridAxis   `json:"grid,omitempty"`
 	Metric     Metric       `json:"metric"`
 	Seeds      []uint64     `json:"seeds"`
 	Scale      float64      `json:"scale"`
+	Complete   *bool        `json:"complete,omitempty"`
 	Xs         []float64    `json:"xs"`
 	Series     []jsonSeries `json:"series"`
 }
 
 // JSON renders the results as an indented machine-readable artifact: the
-// sweep's identity (experiment, axis, declared metric), then per series
-// and x the full per-seed sim.Result plus every known metric aggregated
-// to mean ± 95% CI. It is the artifact cmd/experiments -out writes next
-// to the table CSV.
+// sweep's identity (experiment, axes, declared metric), then per
+// (series, grid combination) and x the full per-seed sim.Result plus
+// every known metric aggregated to mean ± 95% CI. It is the artifact
+// cmd/experiments -out writes next to the table CSV. An interrupted
+// sweep's store renders its complete cell groups, flagged
+// "complete": false (the flag is omitted from complete artifacts, whose
+// bytes predate it).
 func (r *Results) JSON() ([]byte, error) {
 	art := jsonArtifact{
 		Experiment: r.Experiment.ID,
 		Title:      r.Experiment.Title,
 		Axis:       r.Experiment.Axis,
 		AxisLabel:  scenario.AxisLabel(r.Experiment.Axis),
+		Grid:       r.Experiment.Grid,
 		Metric:     r.Experiment.Metric,
 		Seeds:      r.Options.Seeds,
 		Scale:      r.Options.Scale,
 		Xs:         r.Experiment.Xs,
 	}
+	if !r.Complete() {
+		f := false
+		art.Complete = &f
+	}
 	ms := Metrics()
-	for si, sc := range r.Experiment.Scenarios {
-		js := jsonSeries{Name: sc.Name}
-		for xi, x := range r.Experiment.Xs {
-			cells := r.at(si, xi)
-			jc := jsonCell{X: x, Metrics: make(map[string]jsonSummary, len(ms))}
-			for _, c := range cells {
-				jc.Runs = append(jc.Runs, jsonRun{Seed: c.Seed, Result: c.Result})
+	for si := range r.Experiment.Scenarios {
+		for ci := 0; ci < r.Experiment.Combos(); ci++ {
+			js := jsonSeries{Name: r.Experiment.seriesName(si, ci)}
+			if set := r.Experiment.comboSettings(ci); len(set) > 0 {
+				js.Grid = settingsMap(set)
 			}
-			for _, m := range ms {
-				xs := make([]float64, len(cells))
-				for i, c := range cells {
-					v, err := m.Value(c.Result)
-					if err != nil {
-						return nil, err
-					}
-					xs[i] = v
+			for xi, x := range r.Experiment.Xs {
+				cells := r.at(si, ci, xi)
+				if cells == nil {
+					break // interrupted sweep: the rest of this line is missing
 				}
-				sum := stats.Summarize(xs)
-				jc.Metrics[string(m)] = jsonSummary{Mean: sum.Mean, CI95: sum.CI95(), N: sum.N}
+				jc := jsonCell{X: x, Metrics: make(map[string]jsonSummary, len(ms))}
+				for _, c := range cells {
+					jc.Runs = append(jc.Runs, jsonRun{Seed: c.Seed, Result: c.Result})
+				}
+				for _, m := range ms {
+					xs := make([]float64, len(cells))
+					for i, c := range cells {
+						v, err := m.Value(c.Result)
+						if err != nil {
+							return nil, err
+						}
+						xs[i] = v
+					}
+					sum := stats.Summarize(xs)
+					jc.Metrics[string(m)] = jsonSummary{Mean: sum.Mean, CI95: sum.CI95(), N: sum.N}
+				}
+				js.Cells = append(js.Cells, jc)
 			}
-			js.Cells = append(js.Cells, jc)
+			if len(js.Cells) > 0 {
+				art.Series = append(art.Series, js)
+			}
 		}
-		art.Series = append(art.Series, js)
 	}
 	return json.MarshalIndent(art, "", "  ")
 }
@@ -202,11 +252,15 @@ func (t Table) Render() string {
 	for xi, x := range t.Experiment.Xs {
 		row := []string{trimFloat(x)}
 		for _, s := range t.Series {
-			c := s.Cells[xi]
-			if c.Summary.N > 1 {
-				row = append(row, fmt.Sprintf("%.3f±%.3f", c.Summary.Mean, c.Summary.CI95()))
-			} else {
-				row = append(row, fmt.Sprintf("%.3f", c.Summary.Mean))
+			switch c := s.Cells; {
+			case xi >= len(c):
+				// An interrupted sweep's table: this line's later points
+				// never ran.
+				row = append(row, "-")
+			case c[xi].Summary.N > 1:
+				row = append(row, fmt.Sprintf("%.3f±%.3f", c[xi].Summary.Mean, c[xi].Summary.CI95()))
+			default:
+				row = append(row, fmt.Sprintf("%.3f", c[xi].Summary.Mean))
 			}
 		}
 		rows = append(rows, row)

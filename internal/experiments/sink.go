@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"vdtn/internal/scenario"
+	"vdtn/internal/sim"
+)
+
+// ResultSink consumes a sweep's finished cells as they complete, the
+// pluggable replacement for the implicit in-memory-only Results store.
+// The runner drives one sink per Run call:
+//
+//	Start(exp, opt)   once, before any cell
+//	Cell(c)           once per finished cell, in aggregation order
+//	                  (series-major, then grid combination, then x, then
+//	                  seed), never concurrently
+//	Finish(runErr)    exactly once after Start succeeded — nil runErr for
+//	                  a complete sweep, the run's error (a failing cell's
+//	                  coordinates, or ctx.Err() for a cancelled sweep)
+//	                  otherwise; sinks flush buffered output here even
+//	                  when runErr is non-nil, so an interrupted sweep's
+//	                  partial results survive
+//
+// Because delivery is in aggregation order, a sink never sees a torn or
+// out-of-order cell: an interrupted sweep's sink holds a clean,
+// deterministic prefix of complete cells. Any sink error aborts the
+// sweep.
+type ResultSink interface {
+	Start(exp Experiment, opt Options) error
+	Cell(c CellResult) error
+	Finish(runErr error) error
+}
+
+// MemorySink accumulates cells into a Results — the sweep store RunE
+// returns and every table/CSV/JSON renderer consumes. The zero value is
+// ready to use; Results is valid (as a partial store) even after an
+// interrupted sweep.
+type MemorySink struct {
+	res *Results
+}
+
+// Start implements ResultSink.
+func (s *MemorySink) Start(exp Experiment, opt Options) error {
+	s.res = &Results{Experiment: exp, Options: opt}
+	return nil
+}
+
+// Cell implements ResultSink.
+func (s *MemorySink) Cell(c CellResult) error {
+	if s.res == nil {
+		return errors.New("experiments: MemorySink.Cell before Start")
+	}
+	s.res.Cells = append(s.res.Cells, c)
+	return nil
+}
+
+// Finish implements ResultSink. The accumulated Results stay available.
+func (s *MemorySink) Finish(error) error { return nil }
+
+// Results returns the accumulated store: every delivered cell in
+// aggregation order. After an interrupted sweep it holds the completed
+// prefix; Table/CSV/JSON render the complete (series, x) groups in it.
+// Nil before Start.
+func (s *MemorySink) Results() *Results { return s.res }
+
+// jsonlHeader is the first line of a JSONL sweep stream: the sweep's
+// identity, enough to interpret the cell lines without the spec file.
+type jsonlHeader struct {
+	Format     string     `json:"format"`
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title,omitempty"`
+	Axis       string     `json:"axis"`
+	AxisLabel  string     `json:"axis_label"`
+	Grid       []GridAxis `json:"grid,omitempty"`
+	Metric     Metric     `json:"metric"`
+	Seeds      []uint64   `json:"seeds"`
+	Scale      float64    `json:"scale"`
+	Xs         []float64  `json:"xs"`
+	Series     []string   `json:"series"`
+}
+
+// jsonlCell is one cell line of a JSONL sweep stream.
+type jsonlCell struct {
+	Series string             `json:"series"`
+	X      float64            `json:"x"`
+	Grid   map[string]float64 `json:"grid,omitempty"`
+	Seed   uint64             `json:"seed"`
+	Result sim.Result         `json:"result"`
+}
+
+// jsonlFooter terminates a JSONL sweep stream. Its presence is the
+// completeness check: a stream without one was interrupted mid-sweep (a
+// crash or lost write), Complete reports whether every cell is present,
+// and Error carries an interrupted sweep's reason. Cells counts the cell
+// lines written, so even a partial stream is self-describing.
+type jsonlFooter struct {
+	Cells    int    `json:"cells"`
+	Complete bool   `json:"complete"`
+	Error    string `json:"error,omitempty"`
+}
+
+// jsonlFormat versions the stream layout; bump on breaking changes.
+const jsonlFormat = "vdtn-sweep-jsonl/1"
+
+// JSONLSink streams finished cells as JSON lines: one compact header
+// line identifying the sweep, one line per cell carrying the complete
+// sim.Result, and one footer line recording the cell count and outcome.
+// Cells are written in aggregation order, so the byte stream of a sweep
+// is deterministic (pinned by a golden test) and, unlike the in-memory
+// store, the sweep's full result set never has to fit in RAM — the
+// ROADMAP path to sweeps bigger than memory. An interrupted sweep's
+// stream holds the completed prefix plus a footer naming the reason;
+// stream readers distinguish the three terminal states by the footer:
+// present and complete, present and incomplete (cancelled or failed
+// sweep, prefix valid), absent (the writer itself died).
+type JSONLSink struct {
+	w     *bufio.Writer
+	enc   *json.Encoder
+	cells int
+	total int
+}
+
+// NewJSONLSink returns a sink streaming to w. The caller keeps ownership
+// of w (and closes it after the sweep); Finish flushes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Start implements ResultSink: it writes the header line.
+func (s *JSONLSink) Start(exp Experiment, opt Options) error {
+	h := jsonlHeader{
+		Format:     jsonlFormat,
+		Experiment: exp.ID,
+		Title:      exp.Title,
+		Axis:       exp.Axis,
+		AxisLabel:  scenario.AxisLabel(exp.Axis),
+		Grid:       exp.Grid,
+		Metric:     exp.Metric,
+		Seeds:      opt.Seeds,
+		Scale:      opt.Scale,
+		Xs:         exp.Xs,
+	}
+	for si := range exp.Scenarios {
+		h.Series = append(h.Series, exp.Scenarios[si].Name)
+	}
+	s.cells = 0
+	s.total = len(cellJobs(exp, opt))
+	return s.enc.Encode(h)
+}
+
+// Cell implements ResultSink: one line per cell, written through the
+// buffer (flushed at Finish).
+func (s *JSONLSink) Cell(c CellResult) error {
+	line := jsonlCell{Series: c.Series, X: c.X, Seed: c.Seed, Result: c.Result}
+	if len(c.Grid) > 0 {
+		line.Grid = settingsMap(c.Grid)
+	}
+	if err := s.enc.Encode(line); err != nil {
+		return err
+	}
+	s.cells++
+	return nil
+}
+
+// Finish implements ResultSink: it writes the footer and flushes. The
+// footer is written for failed and cancelled sweeps too — the completed
+// prefix is valid data and its reason is recorded.
+func (s *JSONLSink) Finish(runErr error) error {
+	f := jsonlFooter{Cells: s.cells, Complete: runErr == nil && s.cells == s.total}
+	if runErr != nil {
+		f.Error = runErr.Error()
+	}
+	if err := s.enc.Encode(f); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// TeeSink duplicates every sink call to each of sinks in order: render
+// tables from a MemorySink while a JSONLSink archives the same sweep.
+// The first error from any sink aborts the sweep, but Finish is always
+// delivered to every sink so earlier ones still flush.
+func TeeSink(sinks ...ResultSink) ResultSink { return teeSink(sinks) }
+
+type teeSink []ResultSink
+
+func (t teeSink) Start(exp Experiment, opt Options) error {
+	for i, s := range t {
+		if err := s.Start(exp, opt); err != nil {
+			err = fmt.Errorf("experiments: tee sink %d: %w", i, err)
+			// The runner only finishes a sink whose Start succeeded, so
+			// the earlier legs must be finished here — a JSONL leg that
+			// already buffered its header would otherwise leave a
+			// zero-byte file, indistinguishable from a dead writer.
+			for _, started := range t[:i] {
+				_ = started.Finish(err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (t teeSink) Cell(c CellResult) error {
+	for i, s := range t {
+		if err := s.Cell(c); err != nil {
+			return fmt.Errorf("experiments: tee sink %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (t teeSink) Finish(runErr error) error {
+	var errs []error
+	for i, s := range t {
+		if err := s.Finish(runErr); err != nil {
+			errs = append(errs, fmt.Errorf("experiments: tee sink %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}

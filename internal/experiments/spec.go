@@ -60,8 +60,26 @@ func FromSpec(f scenario.File) (Experiment, error) {
 		Axis:     sw.Axis,
 		Xs:       append([]float64(nil), sw.Values...),
 		Metric:   Metric(sw.Metric),
+		Seeds:    append([]uint64(nil), sw.Seeds...),
+		Scale:    sw.Scale,
 		Base:     func() sim.Config { return base },
 		baseSpec: &baseFile,
+	}
+	if len(sw.Axes) > 0 {
+		// Grid form: the axes list replaces axis/values entirely — a spec
+		// carrying both is ambiguous about which sweeps first and is
+		// rejected rather than guessed at.
+		if sw.Axis != "" || len(sw.Values) > 0 {
+			return Experiment{}, fmt.Errorf("experiments: spec %s: sweep.axes is exclusive with sweep.axis/values", id)
+		}
+		exp.Axis = sw.Axes[0].Axis
+		exp.Xs = append([]float64(nil), sw.Axes[0].Values...)
+		for _, g := range sw.Axes[1:] {
+			exp.Grid = append(exp.Grid, GridAxis{Axis: g.Axis, Values: append([]float64(nil), g.Values...)})
+		}
+	}
+	if sw.Scale < 0 {
+		return Experiment{}, fmt.Errorf("experiments: spec %s: negative sweep scale %v", id, sw.Scale)
 	}
 	if exp.Title == "" {
 		exp.Title = id
@@ -218,6 +236,17 @@ func Spec(exp Experiment) (scenario.File, error) {
 		Values: append([]float64(nil), exp.Xs...),
 		Metric: string(exp.Metric),
 		Set:    settingsMap(exp.Set),
+		Seeds:  append([]uint64(nil), exp.Seeds...),
+		Scale:  exp.Scale,
+	}
+	if len(exp.Grid) > 0 {
+		// Grid sweeps export in the axes-list form, primary axis first —
+		// the only schema shape that can carry them.
+		f.Sweep.Axes = []scenario.GridAxisSpec{{Axis: exp.Axis, Values: append([]float64(nil), exp.Xs...)}}
+		for _, g := range exp.Grid {
+			f.Sweep.Axes = append(f.Sweep.Axes, scenario.GridAxisSpec{Axis: g.Axis, Values: append([]float64(nil), g.Values...)})
+		}
+		f.Sweep.Axis, f.Sweep.Values = "", nil
 	}
 	f.Series = nil
 	for _, sc := range exp.Scenarios {

@@ -53,7 +53,7 @@ func TestCacheMigratesLegacyFlatDir(t *testing.T) {
 		}
 	}
 
-	plain := Run(exp, opt)
+	plain := mustRun(t, exp, opt)
 
 	cache := &ContactCache{Dir: dir}
 	opt.ContactCache = cache
@@ -330,7 +330,7 @@ func TestCacheMmapSourceServesViews(t *testing.T) {
 	exp := cacheExperiment()
 	opt := Options{Seeds: []uint64{1, 2}, BaseConfig: cacheConfig}
 
-	plain := Run(exp, opt)
+	plain := mustRun(t, exp, opt)
 
 	cache := &ContactCache{Dir: dir, Mmap: true}
 	defer cache.Close()

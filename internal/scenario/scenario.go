@@ -76,19 +76,26 @@ type File struct {
 	Series []SeriesSpec `json:"series,omitempty"`
 }
 
-// SweepSpec declares the swept dimension of an experiment file: one named
-// axis, its values, the reported metric, and optional fixed axis settings
-// applied to every cell before the swept value.
+// SweepSpec declares the swept dimensions of an experiment file: one
+// named axis with its values (or, for grid sweeps, a list of axes whose
+// cross-product forms the cells), the reported metric, optional fixed
+// axis settings applied to every cell before the swept values, and
+// optional spec-level replication defaults.
 type SweepSpec struct {
 	// ID is the experiment handle ("fig5", "fleet-density", ...); it names
 	// output files and CLI selection. Empty defaults to the file's Name.
 	ID string `json:"id,omitempty"`
 	// Title describes the experiment in table headers.
 	Title string `json:"title,omitempty"`
-	// Axis names the swept parameter (AxisByName).
-	Axis string `json:"axis"`
-	// Values are the swept points, in plot order.
-	Values []float64 `json:"values"`
+	// Axis names the swept parameter (AxisByName). Exclusive with Axes.
+	Axis string `json:"axis,omitempty"`
+	// Values are the swept points, in plot order. Exclusive with Axes.
+	Values []float64 `json:"values,omitempty"`
+	// Axes declares a multi-axis grid sweep: cells are the cross-product
+	// of every listed axis's values. The first axis heads the x column of
+	// rendered tables; the rest fan each series out into one sub-series
+	// per value combination. Exclusive with Axis/Values.
+	Axes []GridAxisSpec `json:"axes,omitempty"`
 	// Metric names the reported metric ("delivery_prob", "avg_delay_min",
 	// ...); empty defaults to delivery probability. Any metric can still
 	// be rendered later from the stored full results.
@@ -96,6 +103,21 @@ type SweepSpec struct {
 	// Set holds fixed axis settings applied to every cell before the
 	// swept value (e.g. {"ttl_min": 120} for a non-TTL ablation).
 	Set map[string]float64 `json:"set,omitempty"`
+	// Seeds and Scale are spec-level defaults for the matching run
+	// options: the replication seeds each cell runs under and the
+	// duration scale. Explicit ExperimentOptions (the CLI's -seeds and
+	// -scale flags) override them; zero/absent means the global defaults
+	// ({1} and 1).
+	Seeds []uint64 `json:"seeds,omitempty"`
+	Scale float64  `json:"scale,omitempty"`
+}
+
+// GridAxisSpec is one swept dimension of a grid sweep's "axes" list.
+type GridAxisSpec struct {
+	// Axis names the swept parameter (AxisByName).
+	Axis string `json:"axis"`
+	// Values are the swept points, in plot order.
+	Values []float64 `json:"values"`
 }
 
 // SeriesSpec is one compared line of a sweep: a label, a routing

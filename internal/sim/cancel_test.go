@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"vdtn/internal/roadmap"
+	"vdtn/internal/trace"
+	"vdtn/internal/units"
+)
+
+// cancelConfig is a small scenario that still produces a few thousand
+// trace events, so mid-run cancellation points exist.
+func cancelConfig() Config {
+	c := DefaultConfig()
+	c.Duration = units.Minutes(40)
+	c.Map = roadmap.Grid(5, 5, 250)
+	c.Vehicles = 8
+	c.Relays = 1
+	c.VehicleBuffer = units.MB(10)
+	c.RelayBuffer = units.MB(20)
+	c.TTL = units.Minutes(20)
+	return c
+}
+
+// TestRunContextBackgroundMatchesRun: the ctx-aware path with an
+// uncancellable context is bit-identical to Run — same Result, same
+// trace.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	var lgA, lgB trace.Log
+
+	cfgA := cancelConfig()
+	cfgA.Trace = lgA.Append
+	wA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA := wA.Run()
+
+	cfgB := cancelConfig()
+	cfgB.Trace = lgB.Append
+	wB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := wB.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("RunContext result differs from Run:\n%+v\nvs\n%+v", resA, resB)
+	}
+	if !reflect.DeepEqual(lgA.Events(), lgB.Events()) {
+		t.Fatal("RunContext trace differs from Run")
+	}
+}
+
+// TestRunContextImmediateCancel: a context already cancelled returns its
+// error before the first event; no torn Result escapes.
+func TestRunContextImmediateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, err := New(cancelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !reflect.DeepEqual(res, Result{}) {
+		t.Fatalf("cancelled run returned a non-zero Result: %+v", res)
+	}
+}
+
+// TestCancelledTraceIsPrefixOfFullRun pins cancellation determinism: a
+// run cancelled mid-flight emits a strict prefix of the uninterrupted
+// run's trace (events fire in a deterministic total order, and the cut
+// happens between events), and returns ctx.Err() with a zero Result —
+// never a torn one. Exercised at several cut points, including one
+// deliberately unaligned with the checkpoint stride.
+func TestCancelledTraceIsPrefixOfFullRun(t *testing.T) {
+	var full trace.Log
+	cfg := cancelConfig()
+	cfg.Trace = full.Append
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	ref := full.Events()
+	if len(ref) < 2000 {
+		t.Fatalf("reference run produced only %d events; cut points would not be mid-run", len(ref))
+	}
+
+	for _, cutAfter := range []int{1, 100, 333, 1024, len(ref) / 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var got trace.Log
+		n := 0
+		cfg := cancelConfig()
+		cfg.Trace = func(ev trace.Event) {
+			got.Append(ev)
+			n++
+			if n == cutAfter {
+				cancel()
+			}
+		}
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.RunContext(ctx)
+		if err != context.Canceled {
+			t.Fatalf("cut after %d: err = %v, want context.Canceled", cutAfter, err)
+		}
+		if !reflect.DeepEqual(res, Result{}) {
+			t.Fatalf("cut after %d: cancelled run returned a non-zero Result", cutAfter)
+		}
+		events := got.Events()
+		// The cut lands at the next checkpoint, so a bounded number of
+		// events past the cancel point may still fire — but everything
+		// emitted must be a strict prefix of the reference trace.
+		if len(events) < cutAfter || len(events) >= len(ref) {
+			t.Fatalf("cut after %d: %d events emitted (reference %d)", cutAfter, len(events), len(ref))
+		}
+		if !reflect.DeepEqual(events, ref[:len(events)]) {
+			t.Fatalf("cut after %d: cancelled trace is not a prefix of the full run's", cutAfter)
+		}
+		cancel()
+	}
+}

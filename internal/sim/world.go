@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"vdtn/internal/buffer"
@@ -205,10 +206,39 @@ func (w *World) Now() float64 { return w.sched.Now() }
 // Run executes the scenario to its configured duration and returns the
 // run metrics. Run may be called once per World.
 func (w *World) Run() Result {
+	res, err := w.RunContext(context.Background())
+	if err != nil {
+		// Background contexts cannot cancel, so this is unreachable.
+		panic(err.Error())
+	}
+	return res
+}
+
+// cancelCheckStride bounds how many events fire between two cancellation
+// checkpoints. The scheduler fires millions of events per simulated hour,
+// so a few hundred events of cancel latency are invisible to a human while
+// keeping the per-event overhead of an atomic channel poll negligible.
+const cancelCheckStride = 256
+
+// RunContext executes the scenario like Run, checking ctx between events.
+// Cancellation is cooperative and deterministic: the run stops at an
+// event boundary — never inside one — and returns ctx.Err() with a zero
+// Result, so a caller can never observe a torn half-run Result. Every
+// trace event emitted before the cut is a prefix of the uninterrupted
+// run's trace (events fire in a deterministic total order). A run whose
+// final event fires before the cancellation is noticed completes normally
+// and returns its Result. RunContext may be called once per World; a
+// cancelled World cannot be resumed. In ContactRecord mode a cancelled
+// run leaves Config.Recording holding the prefix recorded so far —
+// discard it.
+func (w *World) RunContext(ctx context.Context) (Result, error) {
 	if w.ran {
 		panic("sim: World.Run called twice")
 	}
 	w.ran = true
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 
 	switch {
 	case w.cfg.Plan != nil:
@@ -236,7 +266,23 @@ func (w *World) Run() Result {
 	} else {
 		w.scheduleNextMessage(0)
 	}
-	w.sched.RunUntil(w.cfg.Duration)
+	if done := ctx.Done(); done == nil {
+		// Uncancellable context: skip the checkpoint polling entirely, so
+		// Run stays exactly as fast as before contexts existed.
+		w.sched.RunUntil(w.cfg.Duration)
+	} else {
+		cancelled := w.sched.RunUntilCheck(w.cfg.Duration, cancelCheckStride, func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+		if cancelled {
+			return Result{}, ctx.Err()
+		}
+	}
 
 	res := Result{
 		Report:             w.ledger.Report(),
@@ -250,7 +296,7 @@ func (w *World) Run() Result {
 	if w.occSamples > 0 {
 		res.MeanBufferOccupancy = w.occSum / float64(w.occSamples)
 	}
-	return res
+	return res, nil
 }
 
 // sweep expires TTLs network-wide (the per-store hook accounts the deaths)

@@ -1,0 +1,125 @@
+package vdtn_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vdtn"
+)
+
+// TestGridSweepJSONLGolden is the CI gate for the grid runner and the
+// JSONL sink format: the checked-in 2-axis grid spec (TTL × copy budget,
+// with spec-level seeds) runs end-to-end through the Runner into a JSONL
+// stream whose bytes are pinned by a golden file — the sink's ordering
+// contract makes the stream deterministic, so any wire-format or
+// cell-ordering drift fails here.
+//
+// Regenerate the golden after an intended format change with:
+//
+//	UPDATE_GOLDEN=1 go test . -run TestGridSweepJSONLGolden
+func TestGridSweepJSONLGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) grid sweep")
+	}
+	data, err := os.ReadFile(filepath.Join("examples", "sweeps", "grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := vdtn.LoadExperimentSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ID != "ttl-copies-grid" || exp.Axis != "ttl_min" || len(exp.Grid) != 1 || exp.Combos() != 2 {
+		t.Fatalf("grid spec loaded wrong: axis %q, grid %+v", exp.Axis, exp.Grid)
+	}
+	if len(exp.Seeds) != 2 {
+		t.Fatalf("spec-level seeds not loaded: %v", exp.Seeds)
+	}
+
+	var buf bytes.Buffer
+	var mem vdtn.ExperimentMemorySink
+	r := vdtn.Runner{Sink: vdtn.TeeExperimentSink(&mem, vdtn.NewExperimentJSONLSink(&buf))}
+	if err := r.Run(context.Background(), exp); err != nil {
+		t.Fatal(err)
+	}
+
+	// The grid ran its full cross-product under the spec's seeds.
+	res := mem.Results()
+	want := len(exp.Scenarios) * exp.Combos() * len(exp.Xs) * len(exp.Seeds)
+	if len(res.Cells) != want || !res.Complete() {
+		t.Fatalf("grid sweep stored %d cells, want %d", len(res.Cells), want)
+	}
+
+	// The stream parses: header, one line per cell, complete footer.
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != want+2 {
+		t.Fatalf("stream has %d lines, want %d", len(lines), want+2)
+	}
+	var header struct {
+		Format string `json:"format"`
+		Grid   []struct {
+			Axis string `json:"axis"`
+		} `json:"grid"`
+		Seeds []uint64 `json:"seeds"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatal(err)
+	}
+	if header.Format == "" || len(header.Grid) != 1 || header.Grid[0].Axis != "copies" || len(header.Seeds) != 2 {
+		t.Fatalf("bad stream header: %s", lines[0])
+	}
+	var footer struct {
+		Cells    int  `json:"cells"`
+		Complete bool `json:"complete"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &footer); err != nil {
+		t.Fatal(err)
+	}
+	if !footer.Complete || footer.Cells != want {
+		t.Fatalf("bad stream footer: %s", lines[len(lines)-1])
+	}
+
+	goldenPath := filepath.Join("testdata", "grid_sweep_golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("JSONL stream diverged from golden %s (run with UPDATE_GOLDEN=1 after an intended change)", goldenPath)
+	}
+}
+
+// TestRunContextCancelTopLevel smoke-tests the public single-run
+// cancellation surface: an already-cancelled context returns its error
+// and a zero Result.
+func TestRunContextCancelTopLevel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := vdtn.DefaultConfig()
+	res, err := vdtn.RunContext(ctx, cfg)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Created != 0 || res.Delivered != 0 {
+		t.Fatalf("cancelled run leaked a Result: %+v", res)
+	}
+}

@@ -53,10 +53,24 @@
 //
 //	cache := &vdtn.ContactCache{}
 //	opt := vdtn.ExperimentOptions{Seeds: []uint64{1, 2, 3}, ContactCache: cache}
-//	tbl := vdtn.RunExperiment(exp, opt) // identical to the uncached table
+//	res, err := vdtn.RunExperimentE(exp, opt) // identical to the uncached results
+//
+// # Cancellation, observation, and result sinks
+//
+// Long work is context-aware: RunContext cancels a single run at an
+// event-loop checkpoint (deterministically — never a torn Result), and
+// the sweep Runner adds progress observation (ExperimentObserver) and
+// pluggable result storage (ExperimentSink: in-memory, streaming JSONL
+// for sweeps too large for RAM, or a tee of both):
+//
+//	var mem vdtn.ExperimentMemorySink
+//	r := vdtn.Runner{Options: opt, Sink: &mem}
+//	if err := r.Run(ctx, exp); err != nil { ... } // ctx.Err() when cancelled
+//	res := mem.Results() // complete cells delivered before the cut
 package vdtn
 
 import (
+	"context"
 	"io"
 
 	"vdtn/internal/buffer"
@@ -156,11 +170,22 @@ func NewWorld(cfg Config) (*World, error) { return sim.New(cfg) }
 
 // Run assembles and runs a scenario to completion.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext assembles and runs a scenario under ctx. Cancellation is
+// cooperative and deterministic: the run stops between two events of the
+// simulation's deterministic event order — never inside one — and
+// returns ctx.Err() with a zero Result, so a caller can never observe a
+// torn half-run Result. Everything traced before the cut is a prefix of
+// the uninterrupted run's trace. A run whose final event fires before
+// the cancellation is noticed completes normally.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	w, err := sim.New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return w.Run(), nil
+	return w.RunContext(ctx)
 }
 
 // Contact-plan mode: drive connectivity from an explicit schedule (a
@@ -224,6 +249,13 @@ const (
 	ContactLive   = sim.ContactLive
 	ContactRecord = sim.ContactRecord
 	ContactReplay = sim.ContactReplay
+)
+
+// Contact-cache event kinds delivered to experiment observers.
+const (
+	ExperimentCacheHit      = experiments.CacheHit
+	ExperimentCacheHitDisk  = experiments.CacheHitDisk
+	ExperimentCacheRecorded = experiments.CacheRecorded
 )
 
 // RecordContacts simulates only cfg's mobility and proximity layer and
@@ -345,8 +377,38 @@ type (
 	ExperimentScenario = experiments.Scenario
 	// ExperimentSetting is one fixed, declarative axis assignment.
 	ExperimentSetting = experiments.Setting
+	// ExperimentGridAxis is one secondary swept dimension of a multi-axis
+	// grid sweep (Experiment.Grid); cells are the cross-product of the
+	// primary axis and every grid axis.
+	ExperimentGridAxis = experiments.GridAxis
 	// ExperimentOptions controls replication, parallelism and scale.
 	ExperimentOptions = experiments.Options
+	// Runner executes sweeps with cooperative cancellation, progress
+	// observation, and pluggable result sinks — the composable successor
+	// of the fire-and-forget run calls.
+	Runner = experiments.Runner
+	// ExperimentObserver receives a running sweep's lifecycle events
+	// (cells starting and finishing with timing, contact-cache traffic).
+	// Embed ExperimentBaseObserver to implement only some of them.
+	ExperimentObserver = experiments.Observer
+	// ExperimentBaseObserver is the no-op observer for embedding.
+	ExperimentBaseObserver = experiments.BaseObserver
+	// ExperimentCellID identifies one cell in observer progress reports.
+	ExperimentCellID = experiments.CellID
+	// ExperimentCacheEvent is one contact-cache lookup outcome delivered
+	// to observers (hit, disk load, or an executed recording pass).
+	ExperimentCacheEvent = experiments.CacheEvent
+	// ExperimentCacheEventKind classifies a cache event.
+	ExperimentCacheEventKind = experiments.CacheEventKind
+	// ExperimentSink consumes a sweep's finished cells in deterministic
+	// aggregation order (see experiments.ResultSink for the contract).
+	ExperimentSink = experiments.ResultSink
+	// ExperimentMemorySink accumulates delivered cells into an
+	// ExperimentResults — the default sink behind RunExperimentE.
+	ExperimentMemorySink = experiments.MemorySink
+	// ExperimentJSONLSink streams cells as JSON lines for sweeps too
+	// large to hold in memory; see NewExperimentJSONLSink.
+	ExperimentJSONLSink = experiments.JSONLSink
 	// ExperimentResults stores every cell's complete Result; Table
 	// renders any metric view, JSON emits the machine-readable artifact.
 	ExperimentResults = experiments.Results
@@ -412,16 +474,27 @@ func NewSweepAxis(name, label string, movesContacts bool, apply func(c *Config, 
 // RegisterSweepAxis adds a custom axis to the registry.
 func RegisterSweepAxis(a SweepAxis) error { return scenario.RegisterAxis(a) }
 
-// RunExperiment executes an experiment and renders its default metric
-// table. It panics on an error; use RunExperimentE to handle failures.
-func RunExperiment(e Experiment, opt ExperimentOptions) ExperimentTable {
-	return experiments.Run(e, opt)
+// NewExperimentJSONLSink returns a sink streaming a sweep's cells as
+// JSON lines to w: a header identifying the sweep, one line per cell in
+// deterministic aggregation order, and a footer recording the cell count
+// and outcome. The caller keeps ownership of w.
+func NewExperimentJSONLSink(w io.Writer) *ExperimentJSONLSink {
+	return experiments.NewJSONLSink(w)
 }
 
-// RunExperimentE executes an experiment and stores every cell's complete
-// Result, reporting the first failing cell — with its (series, x, seed)
-// coordinates — as an error instead of panicking. Render tables from the
-// returned Results via DefaultTable or Table(metric).
+// TeeExperimentSink duplicates every delivered cell to each sink: render
+// tables from a memory sink while a JSONL sink archives the same sweep.
+func TeeExperimentSink(sinks ...ExperimentSink) ExperimentSink {
+	return experiments.TeeSink(sinks...)
+}
+
+// RunExperimentE executes an experiment to completion and stores every
+// cell's complete Result, reporting the first failing cell — with its
+// (series, grid, x, seed) coordinates — as an error instead of
+// panicking. Render tables from the returned Results via DefaultTable or
+// Table(metric). It is the uncancellable convenience form of Runner.Run
+// with a memory sink; use a Runner directly for cancellation, progress
+// observation, or streaming sinks.
 func RunExperimentE(e Experiment, opt ExperimentOptions) (*ExperimentResults, error) {
 	return experiments.RunE(e, opt)
 }
