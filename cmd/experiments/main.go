@@ -18,6 +18,7 @@
 //	experiments -cache-dir traces/ -cache-max-mb 256  # LRU-bounded store
 //	experiments -spec grid.json -progress       # per-cell progress on stderr
 //	experiments -figure fig5 -out-jsonl r/      # stream cells as JSON lines
+//	experiments -spec grid.json -out-jsonl r/ -resume  # finish an interrupted sweep
 //
 // Tables print to stdout; -out additionally writes one CSV and one JSON
 // results artifact per experiment (the JSON carries every cell's complete
@@ -41,6 +42,15 @@
 // interruption — the contact cache's index is written, and the exit code
 // is non-zero.
 //
+// -resume (with -out-jsonl) picks an interrupted sweep back up from its
+// JSONL stream: the stream is validated against the sweep, completed
+// cells are kept without re-simulating, a torn trailing line from a hard
+// kill is cut, and only the missing cells run — the finished file is
+// byte-identical to an uninterrupted run's. A stream from a different
+// sweep (spec, seeds, or scale) is refused rather than overwritten; a
+// missing or header-less file simply starts fresh, so -resume is safe to
+// pass unconditionally when re-running a sweep.
+//
 // -contact-cache records each distinct (scenario, seed) mobility process
 // once and replays it for every series and x cell that shares it —
 // results are bit-identical to uncached runs, several times faster on
@@ -63,6 +73,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -160,6 +171,7 @@ func run() int {
 		ccMmap   = flag.Bool("cache-mmap", false, "replay persisted traces through zero-copy memory-mapped views instead of decoding them (implies -contact-cache; needs -cache-dir)")
 		ccMax    = flag.Float64("cache-max-mb", 0, "bound the persisted cache directory to this many MB, evicting least-recently-used traces (0 = unbounded)")
 		ccMig    = flag.Bool("migrate-cache", false, "upgrade a legacy flat cache directory to the sharded layout up front (per-trace migration otherwise happens lazily on first touch)")
+		resume   = flag.Bool("resume", false, "resume interrupted sweeps from their -out-jsonl streams: completed cells are kept, only missing ones run, and the finished file is byte-identical to an uninterrupted run's")
 	)
 	flag.Var(&specs, "spec", "load a sweep spec file (repeatable); with -figure all, only the loaded specs run")
 	flag.Parse()
@@ -257,6 +269,11 @@ func run() int {
 	for i := 0; i < *seeds; i++ {
 		seedList = append(seedList, uint64(i+1))
 	}
+	if *resume && *outJSONL == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume needs -out-jsonl (the JSONL stream is what a run resumes from)")
+		return 2
+	}
+
 	opt := vdtn.ExperimentOptions{Seeds: seedList, Scale: *scale, Workers: *work, LazyRecord: *lazy}
 	if *useCC || *ccDir != "" || *warm || *ccMmap || *ccMig {
 		if *ccMmap && *ccDir == "" {
@@ -301,7 +318,15 @@ func run() int {
 			cfgs = append(cfgs, cc...)
 		}
 		start := time.Now()
-		if err := opt.ContactCache.Prewarm(cfgs, *work); err != nil {
+		if err := opt.ContactCache.PrewarmContext(ctx, cfgs, *work); err != nil {
+			if ctx.Err() != nil {
+				// SIGINT during the pre-recording pass: the in-flight
+				// recordings stopped at their next event checkpoint and
+				// nothing was memoized torn; the deferred cache Close still
+				// flushes whatever completed.
+				fmt.Fprintln(os.Stderr, "experiments: interrupted during prewarm")
+				return 130
+			}
 			return fail("%v", err)
 		}
 		fmt.Printf("prewarmed %d contact traces in %v\n\n",
@@ -326,7 +351,7 @@ func run() int {
 
 	interrupted := false
 	for _, e := range todo {
-		code, cancelled := runOne(ctx, e, opt, observer, *metric, *outDir, *outJSONL)
+		code, cancelled := runOne(ctx, e, opt, observer, *metric, *outDir, *outJSONL, *resume)
 		if code != 0 && !cancelled {
 			return code
 		}
@@ -346,30 +371,84 @@ func run() int {
 	return 0
 }
 
+// openResume prepares an interrupted run's JSONL stream for resumption:
+// it validates the stream against the sweep, truncates it after the last
+// complete cell line (cutting the torn tail a kill -9 leaves, and the
+// footer — which is rewritten after the appended cells), and returns the
+// validated prefix plus the file positioned for appending. A missing
+// file, or one whose header never reached the disk, is nothing to resume:
+// (nil, nil, nil), and the caller starts the stream over. A stream that
+// does not match the sweep (different spec, seeds, or scale) is an error,
+// never silently overwritten.
+func openResume(path string, e vdtn.Experiment, opt vdtn.ExperimentOptions) (*vdtn.ExperimentSweepPrefix, *os.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	prefix, err := vdtn.ReadExperimentJSONLPrefix(data, e, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resuming %s: %w", path, err)
+	}
+	if prefix.Offset == 0 {
+		return nil, nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(prefix.Offset); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(prefix.Offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "experiments: resuming %s from %d completed cells\n", path, len(prefix.Cells))
+	return prefix, f, nil
+}
+
 // runOne executes one experiment through the Runner and renders whatever
 // its results support. On cancellation it still renders the partial
 // table and flushes partial artifacts (marked incomplete), reporting
 // cancelled=true so the caller stops the remaining experiments and exits
 // non-zero.
-func runOne(ctx context.Context, e vdtn.Experiment, opt vdtn.ExperimentOptions, observer vdtn.ExperimentObserver, metric, outDir, outJSONL string) (code int, cancelled bool) {
+func runOne(ctx context.Context, e vdtn.Experiment, opt vdtn.ExperimentOptions, observer vdtn.ExperimentObserver, metric, outDir, outJSONL string, resume bool) (code int, cancelled bool) {
 	var mem vdtn.ExperimentMemorySink
 	sinks := []vdtn.ExperimentSink{&mem}
+	var resumeFrom *vdtn.ExperimentSweepPrefix
 	if outJSONL != "" {
 		path := filepath.Join(outJSONL, e.ID+".jsonl")
-		f, err := os.Create(path)
-		if err != nil {
-			return fail("%v", err), false
+		var f *os.File
+		if resume {
+			var err error
+			resumeFrom, f, err = openResume(path, e, opt)
+			if err != nil {
+				return fail("%v", err), false
+			}
+		}
+		if f == nil {
+			// Fresh run (or -resume with nothing usable on disk — a missing
+			// file, or one whose header never flushed): start the stream over.
+			var err error
+			f, err = os.Create(path)
+			if err != nil {
+				return fail("%v", err), false
+			}
 		}
 		defer func() {
 			if cerr := f.Close(); cerr != nil && code == 0 {
 				code = fail("closing %s: %v", path, cerr)
 			}
 		}()
-		sinks = append(sinks, vdtn.NewExperimentJSONLSink(f))
+		sinks = append(sinks, vdtn.NewExperimentJSONLSinkResume(f, resumeFrom))
 	}
 
 	start := time.Now()
-	runner := vdtn.Runner{Options: opt, Observer: observer, Sink: vdtn.TeeExperimentSink(sinks...)}
+	runner := vdtn.Runner{Options: opt, Observer: observer, Sink: vdtn.TeeExperimentSink(sinks...), ResumeFrom: resumeFrom}
 	err := runner.Run(ctx, e)
 	cancelled = errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !cancelled {

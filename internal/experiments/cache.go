@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -143,6 +144,12 @@ func (cc *ContactCache) store() *traceStore {
 	defer cc.mu.Unlock()
 	if cc.disk == nil {
 		cc.disk = newTraceStore(cc.Dir)
+		// Index repairs (a crash left index.json disagreeing with the
+		// shards) surface through the cache's Warn hook, deduped per
+		// fingerprint like every other anomaly.
+		cc.disk.repaired = func(key, cause string) {
+			cc.warnf("index:"+key, "contact cache: index.json %s for %s; repaired from the shard", cause, key)
+		}
 	}
 	return cc.disk
 }
@@ -151,7 +158,15 @@ func (cc *ContactCache) store() *traceStore {
 // recording it on first use. The returned recording is shared and must be
 // treated as immutable.
 func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
-	return cc.recordingWith(cfg, nil)
+	return cc.recordingWith(context.Background(), cfg, nil)
+}
+
+// RecordingContext is Recording under a context: a cancelled ctx
+// interrupts an in-flight recording pass promptly (between two events of
+// its mobility simulation) and returns ctx.Err(). A cancelled pass is not
+// memoized — a later call with a live context records the key again.
+func (cc *ContactCache) RecordingContext(ctx context.Context, cfg sim.Config) (*wireless.Recording, error) {
+	return cc.recordingWith(ctx, cfg, nil)
 }
 
 // recordingWith is Recording with a cache-event hook: note (when non-nil)
@@ -159,7 +174,7 @@ func (cc *ContactCache) Recording(cfg sim.Config) (*wireless.Recording, error) {
 // recording pass. Only the single-flight winner observes the disk-load or
 // recording event; callers that waited behind it (or arrived later)
 // observe a memory hit.
-func (cc *ContactCache) recordingWith(cfg sim.Config, note func(CacheEvent)) (*wireless.Recording, error) {
+func (cc *ContactCache) recordingWith(ctx context.Context, cfg sim.Config, note func(CacheEvent)) (*wireless.Recording, error) {
 	if cfg.Plan != nil {
 		return nil, fmt.Errorf("experiments: contact cache cannot serve a contact-plan scenario")
 	}
@@ -176,8 +191,19 @@ func (cc *ContactCache) recordingWith(cfg sim.Config, note func(CacheEvent)) (*w
 				e.err = fmt.Errorf("experiments: recording %s panicked: %v", key, r)
 			}
 		}()
-		e.rec, e.err = cc.load(key, cfg, note)
+		e.rec, e.err = cc.load(ctx, key, cfg, note)
 	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// Cancellation is a property of this call's context, not of the
+		// key: drop the poisoned memoization so a later run (a resumed
+		// sweep in the same process) records the trace instead of
+		// replaying the stale error.
+		cc.mu.Lock()
+		if cc.entries[key] == e {
+			delete(cc.entries, key)
+		}
+		cc.mu.Unlock()
+	}
 	if !ran && note != nil && e.err == nil {
 		note(CacheEvent{Kind: CacheHit, Fingerprint: key})
 	}
@@ -191,16 +217,18 @@ func (cc *ContactCache) recordingWith(cfg sim.Config, note func(CacheEvent)) (*w
 // falls back to the slurp path after reporting through Warn, so Source
 // never fails where Recording would succeed.
 func (cc *ContactCache) Source(cfg sim.Config) (wireless.ReplaySource, error) {
-	return cc.sourceWith(cfg, nil)
+	return cc.sourceWith(context.Background(), cfg, nil)
 }
 
-// sourceWith is Source with the cache-event hook of recordingWith.
-func (cc *ContactCache) sourceWith(cfg sim.Config, note func(CacheEvent)) (wireless.ReplaySource, error) {
+// sourceWith is Source with a context (cancellation interrupts a
+// recording pass, as in RecordingContext) and the cache-event hook of
+// recordingWith.
+func (cc *ContactCache) sourceWith(ctx context.Context, cfg sim.Config, note func(CacheEvent)) (wireless.ReplaySource, error) {
 	if cfg.Plan != nil {
 		return nil, fmt.Errorf("experiments: contact cache cannot serve a contact-plan scenario")
 	}
 	if cc.Dir == "" || !cc.Mmap {
-		return cc.recordingWith(cfg, note)
+		return cc.recordingWith(ctx, cfg, note)
 	}
 	key := scenario.ContactFingerprint(cfg)
 	e := cc.entry(key)
@@ -223,7 +251,7 @@ func (cc *ContactCache) sourceWith(cfg sim.Config, note func(CacheEvent)) (wirel
 		// path, then map the freshly written shard. A second openView
 		// failure here means persistence itself failed (full disk,
 		// read-only dir) and the in-memory fallback below serves the key.
-		if _, err := cc.recordingWith(cfg, note); err != nil {
+		if _, err := cc.recordingWith(ctx, cfg, note); err != nil {
 			return
 		}
 		e.view = cc.openView(key, cfg)
@@ -239,7 +267,7 @@ func (cc *ContactCache) sourceWith(cfg sim.Config, note func(CacheEvent)) (wirel
 		// in-memory fallback must not double-report the key as a hit.
 		note = nil
 	}
-	return cc.recordingWith(cfg, note)
+	return cc.recordingWith(ctx, cfg, note)
 }
 
 // openView maps and verifies the persisted trace for key. nil means no
@@ -266,6 +294,7 @@ func (cc *ContactCache) openView(key string, cfg sim.Config) *wireless.Recording
 	if statErr == nil {
 		st.touch(key, fi.Size())
 	}
+	st.noteServed(key)
 	return v
 }
 
@@ -298,14 +327,23 @@ func contactCanonical(cfg sim.Config) sim.Config {
 // is also memoized per key, so later Recording calls for that key report
 // it again with their own context.
 func (cc *ContactCache) Prewarm(cfgs []sim.Config, workers int) error {
-	return cc.prewarm(cfgs, workers, nil, nil)
+	return cc.prewarm(context.Background(), cfgs, workers, nil, nil)
 }
 
-// prewarm is Prewarm with a stop hook — when stop becomes true, remaining
-// un-started recordings are skipped (the sweep runner stops warming a
-// cache whose sweep has already failed or been cancelled) — and the
-// cache-event hook of recordingWith.
-func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool, note func(CacheEvent)) error {
+// PrewarmContext is Prewarm under a context: cancellation interrupts the
+// in-flight recording passes promptly — between two events of their
+// mobility simulations, not minutes later at the end of a pass — skips
+// the rest, and returns the joined errors (each wrapping ctx.Err()).
+// Cancelled passes are not memoized, so a later run records them cleanly.
+func (cc *ContactCache) PrewarmContext(ctx context.Context, cfgs []sim.Config, workers int) error {
+	return cc.prewarm(ctx, cfgs, workers, func() bool { return ctx.Err() != nil }, nil)
+}
+
+// prewarm is Prewarm with a context, a stop hook — when stop becomes
+// true, remaining un-started recordings are skipped (the sweep runner
+// stops warming a cache whose sweep has already failed or been
+// cancelled) — and the cache-event hook of recordingWith.
+func (cc *ContactCache) prewarm(ctx context.Context, cfgs []sim.Config, workers int, stop func() bool, note func(CacheEvent)) error {
 	seen := make(map[string]bool)
 	var distinct []sim.Config
 	for _, cfg := range cfgs {
@@ -339,7 +377,7 @@ func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool
 				if stop != nil && stop() {
 					continue
 				}
-				if _, err := cc.recordingWith(distinct[i], note); err != nil {
+				if _, err := cc.recordingWith(ctx, distinct[i], note); err != nil {
 					errs[i] = fmt.Errorf("experiments: prewarm %s: %w",
 						scenario.ContactFingerprint(distinct[i]), err)
 				}
@@ -356,7 +394,7 @@ func (cc *ContactCache) prewarm(cfgs []sim.Config, workers int, stop func() bool
 
 // load fills one cache entry: from disk if persisted, else by running the
 // contacts-only recording pass (and persisting it when Dir is set).
-func (cc *ContactCache) load(key string, cfg sim.Config, note func(CacheEvent)) (*wireless.Recording, error) {
+func (cc *ContactCache) load(ctx context.Context, key string, cfg sim.Config, note func(CacheEvent)) (*wireless.Recording, error) {
 	st := cc.store()
 	start := time.Now()
 	if st != nil {
@@ -367,7 +405,7 @@ func (cc *ContactCache) load(key string, cfg sim.Config, note func(CacheEvent)) 
 			return rec, nil
 		}
 	}
-	rec, err := sim.RecordContacts(contactCanonical(cfg))
+	rec, err := sim.RecordContactsContext(ctx, contactCanonical(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +439,9 @@ func (cc *ContactCache) fromDisk(key string, cfg sim.Config, st *traceStore) *wi
 		if err == nil {
 			st.touch(key, fi.Size())
 		}
+		// If the index had lost this trace (crash between shard rename and
+		// index flush), this serve is the repair — count it through Warn.
+		st.noteServed(key)
 		return rec
 	}
 	rec := cc.readTrace(key, cfg, st.flatTextPath(key), true)

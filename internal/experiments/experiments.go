@@ -403,7 +403,7 @@ func runCell(ctx context.Context, exp Experiment, opt Options, j job, note func(
 	// ContactCache.Mmap, a zero-copy mmap view every cell (and process)
 	// replays from the page cache.
 	if opt.ContactCache != nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
-		src, rerr := opt.ContactCache.sourceWith(cfg, note)
+		src, rerr := opt.ContactCache.sourceWith(ctx, cfg, note)
 		if rerr != nil {
 			return sim.Result{}, rerr
 		}

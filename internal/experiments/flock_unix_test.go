@@ -1,0 +1,53 @@
+//go:build unix
+
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLockExclusiveBlocks: a second lockExclusive on the same path must
+// wait until the first holder releases, even inside one process (the two
+// calls use distinct file descriptors, so flock excludes them).
+func TestLockExclusiveBlocks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "aa", lockFile)
+
+	unlock := lockExclusive(path)
+	acquired := make(chan struct{})
+	go func() {
+		u := lockExclusive(path)
+		close(acquired)
+		u()
+	}()
+
+	select {
+	case <-acquired:
+		t.Fatal("second lockExclusive acquired while the first was held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	unlock()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second lockExclusive never acquired after release")
+	}
+
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("lock file missing after use: %v", err)
+	}
+}
+
+// TestLockExclusiveDegrades: an unlockable path (parent is a file, so the
+// MkdirAll fails) must degrade to a no-op rather than panic or error.
+func TestLockExclusiveDegrades(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "notadir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unlock := lockExclusive(filepath.Join(blocker, lockFile))
+	unlock() // must be callable and harmless
+}

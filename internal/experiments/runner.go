@@ -84,6 +84,16 @@ type Runner struct {
 	// Sink, when non-nil, receives every finished cell in aggregation
 	// order, then a Finish call that flushes it.
 	Sink ResultSink
+	// ResumeFrom, when non-nil, is the completed prefix of an earlier
+	// interrupted run of the same sweep — what ReadJSONLPrefix recovers
+	// from its JSONL stream. Run validates the prefix against the sweep's
+	// aggregation order, re-delivers its cells to the Sink without
+	// simulating them, and runs only the remaining cells. A sink appending
+	// to the original stream skips the re-delivered prefix
+	// (NewJSONLSinkResume), so the finished stream is byte-identical to an
+	// uninterrupted run's; a fresh sink (MemorySink) receives the full
+	// sweep and renders complete results.
+	ResumeFrom *SweepPrefix
 }
 
 // observed serializes observer delivery; the zero value with a nil
@@ -191,6 +201,11 @@ func (d *delivery) deliver(ji int, r sim.Result) error {
 // The returned error is nil for a complete sweep, ctx.Err() for a
 // cancelled one, the first failing cell's coordinate-stamped error for a
 // failed one, or the sink's error if storing a cell failed.
+//
+// With ResumeFrom set, the prefix cells are delivered to the sink first
+// (cheap — no simulation) and the worker pool starts at the first missing
+// cell; a prefix that does not match the sweep is rejected before any
+// cell runs.
 func (r *Runner) Run(ctx context.Context, exp Experiment) (err error) {
 	start := time.Now()
 	obs := &observed{obs: r.Observer}
@@ -199,6 +214,13 @@ func (r *Runner) Run(ctx context.Context, exp Experiment) (err error) {
 		return err
 	}
 	jobs := cellJobs(exp, opt)
+	resume := 0
+	if r.ResumeFrom != nil {
+		if err := r.ResumeFrom.validateFor(exp, opt, jobs); err != nil {
+			return err
+		}
+		resume = len(r.ResumeFrom.Cells)
+	}
 	if obs.obs != nil {
 		obs.obs.SweepStarted(exp, opt, len(jobs))
 		defer func() { obs.obs.SweepFinished(exp, time.Since(start), err) }()
@@ -208,7 +230,10 @@ func (r *Runner) Run(ctx context.Context, exp Experiment) (err error) {
 			return err
 		}
 	}
-	runErr := r.runCells(ctx, exp, opt, jobs, obs)
+	runErr := r.deliverPrefix()
+	if runErr == nil {
+		runErr = r.runCells(ctx, exp, opt, jobs, obs, resume)
+	}
 	if r.Sink != nil {
 		if ferr := r.Sink.Finish(runErr); ferr != nil && runErr == nil {
 			runErr = ferr
@@ -217,8 +242,25 @@ func (r *Runner) Run(ctx context.Context, exp Experiment) (err error) {
 	return runErr
 }
 
-// runCells drives the worker pool between Sink.Start and Sink.Finish.
-func (r *Runner) runCells(ctx context.Context, exp Experiment, opt Options, jobs []job, obs *observed) error {
+// deliverPrefix replays the resumed prefix into the sink before any
+// worker starts, so sinks observe the same aggregation-order stream an
+// uninterrupted run delivers. A resuming JSONL sink counts these without
+// re-writing them; fresh sinks store them like any other cell.
+func (r *Runner) deliverPrefix() error {
+	if r.ResumeFrom == nil || r.Sink == nil {
+		return nil
+	}
+	for _, c := range r.ResumeFrom.Cells {
+		if err := r.Sink.Cell(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCells drives the worker pool between Sink.Start and Sink.Finish,
+// over the jobs from index resume on.
+func (r *Runner) runCells(ctx context.Context, exp Experiment, opt Options, jobs []job, obs *observed, resume int) error {
 	// Warm the cache concurrently with cell execution: the prewarm pool
 	// records distinct (scenario, seed) traces the cell workers have not
 	// reached yet, so recordings run in parallel instead of serializing
@@ -234,7 +276,9 @@ func (r *Runner) runCells(ctx context.Context, exp Experiment, opt Options, jobs
 	var prewarmed chan struct{}
 	if opt.ContactCache != nil && !opt.LazyRecord {
 		var cfgs []sim.Config
-		for _, j := range jobs {
+		// Resumed cells are already on disk and never simulate, so only the
+		// remaining cells' traces are worth recording.
+		for _, j := range jobs[resume:] {
 			// A cell whose config cannot materialize is skipped here; its
 			// worker reports the error with full coordinates below.
 			if cfg, err := cellConfig(exp, opt, j); err == nil && cfg.Plan == nil && cfg.ContactSource == sim.ContactLive {
@@ -244,11 +288,11 @@ func (r *Runner) runCells(ctx context.Context, exp Experiment, opt Options, jobs
 		prewarmed = make(chan struct{})
 		go func() {
 			defer close(prewarmed)
-			_ = opt.ContactCache.prewarm(cfgs, opt.Workers, stop, obs.cacheNote())
+			_ = opt.ContactCache.prewarm(ctx, cfgs, opt.Workers, stop, obs.cacheNote())
 		}()
 	}
 
-	sink := &delivery{sink: r.Sink, exp: exp, jobs: jobs}
+	sink := &delivery{sink: r.Sink, exp: exp, jobs: jobs, next: resume}
 	errs := make([]error, len(jobs))
 	note := obs.cacheNote()
 
@@ -295,7 +339,7 @@ func (r *Runner) runCells(ctx context.Context, exp Experiment, opt Options, jobs
 			}
 		}()
 	}
-	for ji := range jobs {
+	for ji := resume; ji < len(jobs); ji++ {
 		next <- ji
 	}
 	close(next)

@@ -37,8 +37,15 @@ import (
 type traceStore struct {
 	dir string
 
+	// repaired, when non-nil, learns of each index.json record the loader
+	// had to fix against the shard files (see healLocked): cause describes
+	// the disagreement, key is the fingerprint. The cache wires this to its
+	// Warn hook with per-fingerprint dedup.
+	repaired func(key, cause string)
+
 	mu     sync.Mutex
 	idx    map[string]indexEntry
+	healed map[string]string // adopted key → cause, reported on first serve
 	loaded bool
 }
 
@@ -49,6 +56,12 @@ type indexEntry struct {
 }
 
 const indexFile = "index.json"
+
+// lockFile names the advisory flock file: one per shard directory
+// (serializing trace installs against GC evictions of that shard) and one
+// at the store root (serializing index.json rewrites). The dot prefix
+// keeps it out of the trace glob and the migration scan.
+const lockFile = ".lock"
 
 // indexDoc is the serialized form of the index.
 type indexDoc struct {
@@ -110,6 +123,11 @@ func (s *traceStore) locate(key string) string {
 // must never fail a run that already holds a valid recording.
 func (s *traceStore) put(key string, data []byte) (path string, ok bool) {
 	path = s.shardPath(key)
+	// Cross-process exclusion against a concurrent GC of this shard: the
+	// eviction pass must not remove the trace between our rename and the
+	// index touch, which would resurrect it in the index as a phantom.
+	unlock := s.lockShard(key)
+	defer unlock()
 	if !writeAtomic(filepath.Dir(path), path, data) {
 		return path, false
 	}
@@ -118,6 +136,12 @@ func (s *traceStore) put(key string, data []byte) (path string, ok bool) {
 	os.Remove(s.flatBinPath(key))
 	os.Remove(s.flatTextPath(key))
 	s.touch(key, int64(len(data)))
+	s.mu.Lock()
+	// This process just wrote the trace; a heal marker from the first
+	// index load (which can observe put's own rename before the touch
+	// lands) would mis-report a later disk serve as a crash repair.
+	delete(s.healed, key)
+	s.mu.Unlock()
 	s.flush()
 	return path, true
 }
@@ -134,8 +158,10 @@ func (s *traceStore) touch(key string, size int64) {
 	s.idx[key] = indexEntry{Size: size, Used: time.Now().Unix()}
 }
 
-// loadLocked reads index.json once; a missing or unparsable index starts
-// empty (the shard files are the source of truth).
+// loadLocked reads index.json once — a missing or unparsable index starts
+// empty (the shard files are the source of truth) — then reconciles it
+// against those shard files, because a crash can leave the two
+// disagreeing (see healLocked).
 func (s *traceStore) loadLocked() {
 	if s.loaded {
 		return
@@ -143,16 +169,99 @@ func (s *traceStore) loadLocked() {
 	s.loaded = true
 	s.idx = make(map[string]indexEntry)
 	data, err := os.ReadFile(filepath.Join(s.dir, indexFile))
+	if err == nil {
+		var doc indexDoc
+		if json.Unmarshal(data, &doc) == nil && doc.Entries != nil {
+			s.idx = doc.Entries
+		}
+	}
+	s.healLocked()
+}
+
+// healLocked reconciles the just-loaded index with the shard files. put
+// installs the trace first and flushes the index second, so a crash in
+// the gap leaves a shard file the index has never heard of — and the GC
+// removes files first and flushes second, so the same crash inverted
+// leaves an index entry whose file is gone. Either staleness would make
+// the store mis-report: a phantom entry inflates the GC's size
+// accounting and order, and an unlisted shard ages by an mtime the next
+// process may not preserve. The shard file always wins: unlisted traces
+// are adopted with their file size and mtime, entries for vanished files
+// are dropped. Adoptions are stashed in healed and reported only when the
+// trace is actually served (noteServed): a warning then means exactly "a
+// would-have-been miss was repaired from the shard", while files this
+// process wrote just before its first index load, or traces dropped into
+// a shared directory out of band, are adopted without noise. Phantom
+// entries have no serve event to wait for and report immediately. The
+// healed index persists on the next flush — flush takes s.mu, so
+// flushing from here would deadlock.
+func (s *traceStore) healLocked() {
+	files, err := filepath.Glob(filepath.Join(s.dir, "??", "*.contactsb"))
 	if err != nil {
 		return
 	}
-	var doc indexDoc
-	if json.Unmarshal(data, &doc) == nil && doc.Entries != nil {
-		s.idx = doc.Entries
+	onDisk := make(map[string]bool, len(files))
+	for _, f := range files {
+		key := trimExt(filepath.Base(f))
+		onDisk[key] = true
+		if _, ok := s.idx[key]; ok {
+			continue
+		}
+		fi, statErr := os.Stat(f)
+		if statErr != nil || fi.IsDir() {
+			continue
+		}
+		s.idx[key] = indexEntry{Size: fi.Size(), Used: fi.ModTime().Unix()}
+		if s.healed == nil {
+			s.healed = make(map[string]string)
+		}
+		s.healed[key] = "had no entry"
+	}
+	for key := range s.idx {
+		if onDisk[key] {
+			continue
+		}
+		// A legacy flat-dir binary still counts as present: locate will
+		// migrate it into its shard on first touch.
+		if fi, statErr := os.Stat(s.flatBinPath(key)); statErr == nil && !fi.IsDir() {
+			continue
+		}
+		delete(s.idx, key)
+		if s.repaired != nil {
+			s.repaired(key, "listed a vanished trace")
+		}
 	}
 }
 
-// flush writes the index atomically. Best-effort: the index is advisory.
+// noteServed records that key's persisted trace was just served. If the
+// index had lost track of it (a crash between the shard rename and the
+// index flush) the repair is reported now, once: the cache was about to
+// mis-report a miss and re-simulate, and the shard stat saved the pass.
+func (s *traceStore) noteServed(key string) {
+	s.mu.Lock()
+	cause, ok := s.healed[key]
+	if ok {
+		delete(s.healed, key)
+	}
+	rep := s.repaired
+	s.mu.Unlock()
+	if ok && rep != nil {
+		rep(key, cause)
+	}
+}
+
+// lockShard takes the advisory cross-process lock of key's shard
+// directory. Writers (put) and the GC's evictions hold it around their
+// file mutations; readers never need it — every write is temp+rename
+// atomic, the lock only orders writers against removals.
+func (s *traceStore) lockShard(key string) (unlock func()) {
+	return lockExclusive(filepath.Join(s.dir, shardOf(key), lockFile))
+}
+
+// flush writes the index atomically, under the store-root flock so two
+// processes sharing the directory do not interleave their rewrites
+// (last-writer-wins on content is fine — the index is advisory and
+// healLocked re-derives anything a lost update dropped).
 func (s *traceStore) flush() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -162,6 +271,8 @@ func (s *traceStore) flush() {
 	if err != nil {
 		return
 	}
+	unlock := lockExclusive(filepath.Join(s.dir, lockFile))
+	defer unlock()
 	writeAtomic(s.dir, filepath.Join(s.dir, indexFile), append(data, '\n'))
 }
 
@@ -233,8 +344,6 @@ func (s *traceStore) gc(maxBytes int64, keep map[string]bool) (removed int, free
 		}
 		return traces[i].key < traces[j].key // deterministic tie-break
 	})
-	s.mu.Lock()
-	s.loadLocked()
 	for _, t := range traces {
 		if total <= maxBytes {
 			break
@@ -242,16 +351,27 @@ func (s *traceStore) gc(maxBytes int64, keep map[string]bool) (removed int, free
 		if keep[t.key] {
 			continue
 		}
-		if rmErr := os.Remove(t.path); rmErr != nil {
+		// Shard-level flock: a writer installing this very trace in another
+		// process finishes its rename before the eviction lands (or the
+		// eviction goes first and the writer re-installs). The flock is
+		// taken without holding s.mu — put holds its shard flock while
+		// touching the index under s.mu, so the reverse order here would
+		// deadlock the process.
+		unlock := s.lockShard(t.key)
+		rmErr := os.Remove(t.path)
+		unlock()
+		if rmErr != nil {
 			err = rmErr
 			continue
 		}
+		s.mu.Lock()
+		s.loadLocked()
 		delete(s.idx, t.key)
+		s.mu.Unlock()
 		total -= t.size
 		freed += t.size
 		removed++
 	}
-	s.mu.Unlock()
 	s.flush()
 	return removed, freed, err
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"vdtn/internal/contactplan"
@@ -32,6 +33,23 @@ func (e *mobileEntity) Position(now float64) geo.Point { return e.mob.Position(n
 // yields the same Result as a live run at a fraction of the cost — the
 // contract the experiment harness's contact cache is built on.
 func RecordContacts(cfg Config) (*wireless.Recording, error) {
+	rec, err := RecordContactsContext(context.Background(), cfg)
+	if err != nil {
+		// Background contexts cannot cancel, so every error here is a
+		// validation error, reported as before contexts existed.
+		return nil, err
+	}
+	return rec, nil
+}
+
+// RecordContactsContext is RecordContacts checking ctx between events, the
+// same cooperative checkpointing as World.RunContext: cancellation stops
+// the pass at an event boundary within cancelCheckStride events and
+// returns (nil, ctx.Err()) — a recording pass over a long horizon no
+// longer pins a SIGINT'd process for the rest of the pass. An
+// uncancellable context skips the checkpoint polling entirely, so the
+// plain RecordContacts path stays allocation-identical to before.
+func RecordContactsContext(ctx context.Context, cfg Config) (*wireless.Recording, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,7 +100,24 @@ func RecordContacts(cfg Config) (*wireless.Recording, error) {
 	rec := &wireless.Recording{Duration: cfg.Duration}
 	medium.RecordTo(rec)
 	medium.Start(0)
-	sched.RunUntil(cfg.Duration)
+	if done := ctx.Done(); done == nil {
+		sched.RunUntil(cfg.Duration)
+	} else {
+		cancelled := sched.RunUntilCheck(cfg.Duration, cancelCheckStride, func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+		if cancelled {
+			// A torn trace must never escape: the recording stops between
+			// scan ticks, so it would be a valid-looking prefix — silently
+			// wrong for any run longer than the cut.
+			return nil, ctx.Err()
+		}
+	}
 	return rec, nil
 }
 

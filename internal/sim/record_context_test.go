@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"vdtn/internal/units"
+)
+
+// TestRecordContactsContextBackgroundMatches: with an uncancellable
+// context the ctx-aware recording pass is bit-identical to the plain one
+// — the checkpoint polling must not perturb the event order.
+func TestRecordContactsContextBackgroundMatches(t *testing.T) {
+	recA, err := RecordContacts(cancelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := RecordContactsContext(context.Background(), cancelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recA, recB) {
+		t.Fatal("RecordContactsContext recording differs from RecordContacts")
+	}
+}
+
+// TestRecordContactsContextImmediateCancel: a context already cancelled
+// returns its error and never a recording — a torn contact trace would be
+// a valid-looking prefix, silently wrong on replay.
+func TestRecordContactsContextImmediateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec, err := RecordContactsContext(ctx, cancelConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rec != nil {
+		t.Fatal("cancelled recording pass returned a recording")
+	}
+}
+
+// TestRecordContactsContextMidRunCancel: cancelling during the pass stops
+// it within the checkpoint stride instead of running the horizon out.
+func TestRecordContactsContextMidRunCancel(t *testing.T) {
+	cfg := cancelConfig()
+	cfg.Duration = units.Hours(200) // far longer than the test will wait
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rec, err := RecordContactsContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rec != nil {
+		t.Fatal("cancelled recording pass returned a recording")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, want within the checkpoint stride", elapsed)
+	}
+}

@@ -262,6 +262,13 @@ const (
 // returns the contact trace a full live run would record.
 func RecordContacts(cfg Config) (*ContactRecording, error) { return sim.RecordContacts(cfg) }
 
+// RecordContactsContext is RecordContacts checking ctx between events:
+// cancellation stops the recording pass promptly at an event boundary and
+// returns ctx.Err() with no recording — a torn trace never escapes.
+func RecordContactsContext(ctx context.Context, cfg Config) (*ContactRecording, error) {
+	return sim.RecordContactsContext(ctx, cfg)
+}
+
 // ParseContactRecording reads the text form written by
 // ContactRecording.Format. The "end <count>" trailer is required so a
 // truncated file is detected; use DecodeContactRecordingLegacy for files
@@ -414,6 +421,10 @@ type (
 	ExperimentResults = experiments.Results
 	// ExperimentCellResult is one (series, x, seed) cell's full outcome.
 	ExperimentCellResult = experiments.CellResult
+	// ExperimentSweepPrefix is the validated complete-cell prefix of a
+	// JSONL sweep stream — what ReadExperimentJSONLPrefix recovers from an
+	// interrupted run and Runner.ResumeFrom finishes without re-simulating.
+	ExperimentSweepPrefix = experiments.SweepPrefix
 	// ExperimentTable is one metric view with rendering helpers.
 	ExperimentTable = experiments.Table
 	// ExperimentMetric names one scalar view of a run result.
@@ -480,6 +491,25 @@ func RegisterSweepAxis(a SweepAxis) error { return scenario.RegisterAxis(a) }
 // and outcome. The caller keeps ownership of w.
 func NewExperimentJSONLSink(w io.Writer) *ExperimentJSONLSink {
 	return experiments.NewJSONLSink(w)
+}
+
+// NewExperimentJSONLSinkResume returns a JSONL sink appending to a stream
+// that already holds prefix (truncated after prefix.Offset): the header
+// and the prefix's cell lines are counted but not re-written, so the
+// finished stream is byte-identical to an uninterrupted run's. Pair it
+// with Runner.ResumeFrom set to the same prefix.
+func NewExperimentJSONLSinkResume(w io.Writer, prefix *ExperimentSweepPrefix) *ExperimentJSONLSink {
+	return experiments.NewJSONLSinkResume(w, prefix)
+}
+
+// ReadExperimentJSONLPrefix decodes a JSONL sweep stream written for exp
+// under opt and returns its clean complete-cell prefix: the reader side
+// of the JSONL format, tolerant of exactly the damage a crash inflicts (a
+// truncated trailing line) and strict about everything else — a stream
+// from a different sweep, seed list, or scale is refused, never silently
+// resumed. See ExperimentSweepPrefix for how the prefix drives a resume.
+func ReadExperimentJSONLPrefix(data []byte, exp Experiment, opt ExperimentOptions) (*ExperimentSweepPrefix, error) {
+	return experiments.ReadJSONLPrefix(data, exp, opt)
 }
 
 // TeeExperimentSink duplicates every delivered cell to each sink: render
