@@ -1,0 +1,29 @@
+// Package detmap provides deterministic iteration over Go maps.
+//
+// Ranging a map visits keys in an order the runtime randomizes per
+// process; any simulation state that depends on that order breaks the
+// replay guarantees (pinned contact fingerprints, byte-identical resume
+// streams). The detmaprange analyzer forbids raw map ranges in
+// determinism-critical packages — this package is the sanctioned
+// replacement: collect the keys, sort them, range the slice.
+package detmap
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys in ascending order. The returned slice is always
+// freshly allocated (nil only for an empty map) so callers may retain or
+// mutate it.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

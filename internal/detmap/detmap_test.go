@@ -1,0 +1,45 @@
+package detmap
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	for i := 0; i < 32; i++ { // map order randomizes per range; result must not
+		got := Keys(m)
+		want := []int{1, 2, 3, 4, 5}
+		if !slices.Equal(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKeysStrings(t *testing.T) {
+	m := map[string]int{"n2": 1, "n10": 2, "n1": 3}
+	got := Keys(m)
+	want := []string{"n1", "n10", "n2"} // lexicographic, matching fmt/sort conventions
+	if !slices.Equal(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestKeysEmpty(t *testing.T) {
+	if got := Keys(map[int]int{}); got != nil {
+		t.Fatalf("Keys(empty) = %v, want nil", got)
+	}
+	var m map[string]bool
+	if got := Keys(m); got != nil {
+		t.Fatalf("Keys(nil) = %v, want nil", got)
+	}
+}
+
+func TestKeysFresh(t *testing.T) {
+	m := map[int]int{1: 1, 2: 2}
+	a := Keys(m)
+	a[0] = 99
+	if b := Keys(m); b[0] != 1 {
+		t.Fatalf("Keys shares state between calls: %v", b)
+	}
+}

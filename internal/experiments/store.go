@@ -37,6 +37,11 @@ import (
 type traceStore struct {
 	dir string
 
+	// now supplies the unix-seconds clock behind last-use stamps, so GC
+	// eviction-order tests can drive it directly instead of skewing file
+	// mtimes against the wall clock.
+	now func() int64
+
 	// repaired, when non-nil, learns of each index.json record the loader
 	// had to fix against the shard files (see healLocked): cause describes
 	// the disagreement, key is the fingerprint. The cache wires this to its
@@ -69,7 +74,9 @@ type indexDoc struct {
 	Entries map[string]indexEntry `json:"entries"`
 }
 
-func newTraceStore(dir string) *traceStore { return &traceStore{dir: dir} }
+func newTraceStore(dir string) *traceStore {
+	return &traceStore{dir: dir, now: func() int64 { return time.Now().Unix() }}
+}
 
 // shardPath returns the sharded location of key's binary trace.
 func (s *traceStore) shardPath(key string) string {
@@ -155,7 +162,7 @@ func (s *traceStore) touch(key string, size int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.loadLocked()
-	s.idx[key] = indexEntry{Size: size, Used: time.Now().Unix()}
+	s.idx[key] = indexEntry{Size: size, Used: s.now()}
 }
 
 // loadLocked reads index.json once — a missing or unparsable index starts

@@ -427,3 +427,58 @@ func TestCacheMmapFallsBack(t *testing.T) {
 		t.Fatalf("mismatch not surfaced via Warn: %v", warnings)
 	}
 }
+
+// TestCacheGCInjectedClock: eviction order follows the store's injected
+// clock, with no wall-clock or file-mtime involvement. The traces are
+// touched in reverse creation order under a hand-advanced clock, so if
+// either mtimes (all written within the same second) or the recording
+// cache's wall-clock stamps leaked into the LRU signal, the wrong trace
+// would be evicted.
+func TestCacheGCInjectedClock(t *testing.T) {
+	dir := t.TempDir()
+	warm := &ContactCache{Dir: dir}
+	var keys []string
+	var sizes []int64
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := cacheConfig()
+		cfg.Seed = seed
+		if _, err := warm.Recording(cfg); err != nil {
+			t.Fatal(err)
+		}
+		key := scenario.ContactFingerprint(cfg)
+		keys = append(keys, key)
+		fi, err := os.Stat(warm.ShardPath(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, fi.Size())
+	}
+
+	st := newTraceStore(dir)
+	var clock int64 = 1_000_000
+	st.now = func() int64 { return clock }
+
+	// Most recent use order: keys[2] (oldest), keys[1], keys[0] (newest) —
+	// the reverse of creation order and far in the "past" relative to the
+	// wall-clock stamps the recordings wrote.
+	for i := len(keys) - 1; i >= 0; i-- {
+		clock += 1000
+		st.touch(keys[i], sizes[i])
+	}
+
+	removed, freed, err := st.gc(sizes[0]+sizes[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed != sizes[2] {
+		t.Fatalf("GC removed %d traces (%d bytes), want 1 (%d bytes)", removed, freed, sizes[2])
+	}
+	if _, err := os.Stat(st.shardPath(keys[2])); !os.IsNotExist(err) {
+		t.Fatalf("least-recently-touched trace %s survived GC (err %v)", keys[2], err)
+	}
+	for _, key := range keys[:2] {
+		if _, err := os.Stat(st.shardPath(key)); err != nil {
+			t.Fatalf("recently-touched trace %s evicted: %v", key, err)
+		}
+	}
+}

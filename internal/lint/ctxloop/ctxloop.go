@@ -1,0 +1,176 @@
+// Package ctxloop implements the vdtnlint analyzer requiring unbounded
+// loops in context-accepting functions to observe cancellation.
+//
+// PR 5/6 fixed this class of bug by hand twice: World.RunContext and
+// RecordContactsContext both learned to poll ctx between events via
+// event.Scheduler.RunUntilCheck, because a SIGINT that waits for a full
+// recording pass is minutes of latency at million-node scale. The
+// analyzer codifies the rule: a function that accepts a context.Context
+// and spins a `for {}` must reach ctx.Done()/ctx.Err() (directly or via
+// a channel derived from ctx.Done()), hand the context onward, or run
+// through a RunUntilCheck-style checkpoint inside the loop. Loops with a
+// real condition — a scheduler horizon, a queue drain — are bounded and
+// exempt.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vdtn/internal/lint"
+	"vdtn/internal/lint/lintcfg"
+)
+
+// Analyzer is the ctxloop analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "ctxloop",
+	Doc:       "require unbounded loops in context-accepting functions to observe cancellation",
+	Directive: "loop-ok",
+	Run:       run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Name.Name, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, "function literal", n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc inspects one function that may take a context parameter.
+// Nested function literals are visited by the outer Inspect on their own,
+// but their bodies also stay part of the enclosing function's walk here:
+// a loop inside a closure still holds the enclosing ctx captive.
+func checkFunc(pass *lint.Pass, name string, ft *ast.FuncType, body *ast.BlockStmt) {
+	ctxVars := contextParams(pass, ft)
+	if len(ctxVars) == 0 {
+		return
+	}
+	// Channels derived from ctx.Done() count as observing ctx; World.Run
+	// hoists `done := ctx.Done()` out of the hot loop on purpose.
+	observers := doneChannels(pass, body, ctxVars)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		// A nested literal with its own context parameter answers for
+		// itself under its own contract.
+		if lit, ok := n.(*ast.FuncLit); ok && len(contextParams(pass, lit.Type)) > 0 {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if observesCancellation(pass, loop.Body, ctxVars, observers) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "unbounded loop in %s never observes cancellation of its context parameter; poll ctx.Done()/ctx.Err(), pass ctx on, or checkpoint via RunUntilCheck (%s)",
+			name, lintcfg.DocPath)
+		return true
+	})
+}
+
+// contextParams returns the objects of parameters typed context.Context.
+func contextParams(pass *lint.Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// doneChannels collects variables assigned from ctx.Done() anywhere in
+// the function body.
+func doneChannels(pass *lint.Pass, body *ast.BlockStmt, ctxVars map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return
+		}
+		if recv, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || !ctxVars[pass.TypesInfo.Uses[recv]] {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				record(as.Lhs[i], as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// observesCancellation reports whether the loop body touches the context
+// (any use: ctx.Done, ctx.Err, passing ctx to a callee), receives from a
+// ctx-derived done channel, or calls a checkpoint primitive from
+// lintcfg.CheckpointFuncs.
+func observesCancellation(pass *lint.Pass, body *ast.BlockStmt, ctxVars, observers map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && (ctxVars[obj] || observers[obj]) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				for _, name := range lintcfg.CheckpointFuncs {
+					if sel.Sel.Name == name {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"vdtn/internal/lint/ctxloop"
+	"vdtn/internal/lint/linttest"
+)
+
+func TestCtxLoop(t *testing.T) {
+	linttest.Run(t, ctxloop.Analyzer, "vdtn/internal/sim")
+}

@@ -1,0 +1,119 @@
+// Fixture for the ctxloop analyzer: unbounded loops in context-accepting
+// functions must observe cancellation.
+package fixture
+
+import "context"
+
+func work() {}
+
+type sched struct {
+	now, horizon float64
+}
+
+func (s *sched) RunUntilCheck(until float64, stride int, check func() bool) bool {
+	for s.now < until {
+		s.now++
+		if check() {
+			return true
+		}
+	}
+	return false
+}
+
+// Spins forever without ever looking at ctx: flagged.
+func spin(ctx context.Context) {
+	for { // want `unbounded loop in spin never observes cancellation`
+		work()
+	}
+}
+
+// Polling ctx.Err inside the loop observes cancellation.
+func errPoll(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+// The done channel hoisted out of the hot loop (the World.Run shape)
+// still counts as observing ctx.
+func hoistedDone(ctx context.Context) {
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		work()
+	}
+}
+
+// Handing the context onward delegates the obligation to the callee.
+func delegates(ctx context.Context) {
+	for {
+		step(ctx)
+	}
+}
+
+func step(ctx context.Context) {}
+
+// Checkpointing through the scheduler primitive satisfies the rule even
+// without touching ctx directly in the loop body.
+func checkpointed(ctx context.Context, s *sched, stop func() bool) {
+	for {
+		if s.RunUntilCheck(s.horizon, 64, stop) {
+			return
+		}
+		s.horizon++
+	}
+}
+
+// Loops bounded by a real condition — a scheduler horizon, a counter —
+// terminate on their own and are exempt.
+func bounded(ctx context.Context, s *sched) {
+	for s.now < s.horizon {
+		s.now++
+	}
+	for i := 0; i < 100; i++ {
+		work()
+	}
+}
+
+// Functions without a context parameter answer to no one here.
+func noCtx() {
+	for {
+		work()
+	}
+}
+
+// A nested literal with its own context parameter is checked under its
+// own contract, not the enclosing function's.
+func makesWorker(ctx context.Context) func(context.Context) {
+	return func(inner context.Context) {
+		for { // want `unbounded loop in function literal never observes cancellation`
+			work()
+		}
+	}
+}
+
+// A closure without its own context still holds the enclosing ctx
+// captive, so its loop is charged to the enclosing function.
+func makesClosure(ctx context.Context) func() {
+	return func() {
+		for { // want `unbounded loop in makesClosure never observes cancellation`
+			work()
+		}
+	}
+}
+
+// A justified spin is suppressed.
+func justifiedSpin(ctx context.Context) {
+	//vdtnlint:loop-ok drains a buffered channel that the producer has already closed
+	for {
+		work()
+		return
+	}
+}

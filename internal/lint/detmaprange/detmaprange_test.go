@@ -1,0 +1,15 @@
+package detmaprange_test
+
+import (
+	"testing"
+
+	"vdtn/internal/lint/detmaprange"
+	"vdtn/internal/lint/linttest"
+)
+
+func TestDetMapRange(t *testing.T) {
+	linttest.Run(t, detmaprange.Analyzer,
+		"vdtn/internal/sim",     // critical: violations, proofs, suppressions
+		"vdtn/internal/reports", // non-critical: silent
+	)
+}

@@ -1,0 +1,9 @@
+// Fixture outside the determinism-critical package list: the analyzer
+// must stay silent here even for blatantly order-sensitive iteration.
+package fixture
+
+func emit(m map[int]string, sink func(string)) {
+	for _, v := range m {
+		sink(v)
+	}
+}

@@ -1,0 +1,94 @@
+// Package detsource implements the vdtnlint analyzer forbidding ambient
+// nondeterminism sources in determinism-critical packages.
+//
+// A simulation must be a pure function of (config, seed): all randomness
+// flows through internal/xrand named streams and all time through the
+// event scheduler. Wall clocks (time.Now/Since/Until), the global
+// math/rand generators, process-environment reads, and selects that race
+// multiple ready cases each smuggle ambient state into that function —
+// and all of them pass `go build` silently. The golden suites would only
+// catch the resulting drift for the seeds they happen to sample.
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vdtn/internal/lint"
+	"vdtn/internal/lint/lintcfg"
+)
+
+// Analyzer is the detsource analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "detsource",
+	Doc:       "forbid wall clocks, global math/rand, environment reads, and racing selects in determinism-critical packages",
+	Directive: "nondet-ok",
+	AppliesTo: lintcfg.IsCritical,
+	Run:       run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "wall-clock time.%s in a determinism-critical package; derive time from the event scheduler (%s)",
+				fn.Name(), lintcfg.DocPath)
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on an explicit *rand.Rand are a seeded, owned stream, and
+		// the New*/NewSource constructors build one; package-level draw
+		// functions read the shared global generator.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(), "global %s.%s in a determinism-critical package; draw from a named internal/xrand stream instead (%s)",
+				fn.Pkg().Name(), fn.Name(), lintcfg.DocPath)
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			pass.Reportf(call.Pos(), "environment read os.%s in a determinism-critical package; thread configuration through sim.Config (%s)",
+				fn.Name(), lintcfg.DocPath)
+		}
+	}
+}
+
+// checkSelect flags selects with two or more communication cases: when
+// several are ready the runtime picks one pseudo-randomly, so event order
+// leaks scheduler state. A single case plus default (the cancellation
+// poll shape used by RunUntilCheck callbacks) is deterministic.
+func checkSelect(pass *lint.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Pos(), "select races %d ready cases nondeterministically in a determinism-critical package; restructure or justify with //vdtnlint:nondet-ok (%s)",
+			comms, lintcfg.DocPath)
+	}
+}

@@ -1,0 +1,12 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"vdtn/internal/lint/detsource"
+	"vdtn/internal/lint/linttest"
+)
+
+func TestDetSource(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, "vdtn/internal/event")
+}

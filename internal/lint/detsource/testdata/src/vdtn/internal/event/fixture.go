@@ -1,0 +1,71 @@
+// Fixture for the detsource analyzer: ambient nondeterminism sources in
+// a determinism-critical package.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clocks(epoch time.Time) {
+	_ = time.Now()        // want `wall-clock time\.Now in a determinism-critical package`
+	_ = time.Since(epoch) // want `wall-clock time\.Since`
+	_ = time.Until(epoch) // want `wall-clock time\.Until`
+	_ = time.Unix(0, 0)   // explicit construction from simulated seconds: fine
+	_ = epoch.Add(time.Second)
+}
+
+func globalRand() (int, float64) {
+	n := rand.Intn(10)                 // want `global rand\.Intn in a determinism-critical package`
+	f := rand.Float64()                // want `global rand\.Float64`
+	rand.Shuffle(n, func(i, j int) {}) // want `global rand\.Shuffle`
+	return n, f
+}
+
+// An explicitly seeded, owned stream is the sanctioned shape: the
+// constructors and the methods on the stream are both silent.
+func ownedStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func env() {
+	_ = os.Getenv("VDTN_SEED")       // want `environment read os\.Getenv`
+	_, _ = os.LookupEnv("VDTN_SEED") // want `environment read os\.LookupEnv`
+	_ = os.Environ()                 // want `environment read os\.Environ`
+	// Non-environment os calls stay silent.
+	_, _ = os.Hostname()
+}
+
+// Two ready communication cases race pseudo-randomly: flagged.
+func racingSelect(a, b <-chan int) int {
+	select { // want `select races 2 ready cases nondeterministically`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+// The single-case + default cancellation-poll shape (World.RunContext,
+// RecordContactsContext) is deterministic and stays silent.
+func pollSelect(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// A justified race is suppressed.
+func justifiedSelect(a, b <-chan int) int {
+	//vdtnlint:nondet-ok merges progress ticks whose order is reconciled downstream
+	select {
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}

@@ -1,0 +1,107 @@
+// Package lintcfg is the shared configuration layer of the vdtnlint
+// analyzer suite: it declares which packages are determinism-critical,
+// which lock hierarchies the lockorder analyzer models, and where the
+// written contract lives. Analyzers consult this package instead of
+// hard-coding paths so the policy has exactly one home.
+package lintcfg
+
+import "strings"
+
+// DocPath points diagnostics at the determinism contract.
+const DocPath = "docs/DETERMINISM.md"
+
+// CriticalPackages lists the determinism-critical packages: everything a
+// simulated trace's bytes flow through. Inside them (and their
+// subpackages) map iteration order, wall clocks, global math/rand, the
+// process environment, and racing selects are all forbidden — randomness
+// must come from internal/xrand named streams and time from the event
+// scheduler, so a run stays a pure function of (config, seed).
+//
+// internal/xrand itself is deliberately absent: it is the sanctioned
+// randomness substrate. internal/experiments is absent too — sweep
+// orchestration may time itself and read the environment; its
+// determinism obligations (sink byte-stability, cache integrity) are
+// pinned by golden tests and by the lockorder analyzer.
+var CriticalPackages = []string{
+	"vdtn/internal/sim",
+	"vdtn/internal/wireless",
+	"vdtn/internal/event",
+	"vdtn/internal/routing",
+	"vdtn/internal/mobility",
+	"vdtn/internal/buffer",
+	"vdtn/internal/scenario",
+}
+
+// IsCritical reports whether path is a determinism-critical package or a
+// subpackage of one.
+func IsCritical(path string) bool {
+	for _, p := range CriticalPackages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// A LockClass is one level of a documented lock hierarchy. Lower ranks
+// are acquired first (outermost): with the trace store's shard → mu →
+// root order, acquiring a lower-ranked class while a higher-ranked one is
+// held is an inversion.
+type LockClass struct {
+	// Name labels the class in diagnostics ("shard", "mu", "root").
+	Name string
+
+	// Rank orders acquisition: a class may only be acquired while every
+	// held class has a strictly lower rank.
+	Rank int
+
+	// Funcs name the functions whose call acquires this class and returns
+	// an unlock func. Methods are written "(*recv).name", package-level
+	// functions bare.
+	Funcs []string
+
+	// Mutexes name sync.Mutex struct fields, written "Type.field"; the
+	// class is acquired by field.Lock() and released by field.Unlock().
+	Mutexes []string
+}
+
+// LockOrderSpec declares one package's lock hierarchy for the lockorder
+// analyzer.
+type LockOrderSpec struct {
+	// Packages lists the import paths the hierarchy applies to.
+	Packages []string
+
+	// Classes lists the hierarchy's levels, any rank order.
+	Classes []LockClass
+
+	// Exempt names functions whose bodies implement a lock class: the
+	// helper wrapping the raw primitive is classified by its own name at
+	// call sites, so the primitive calls inside it must not be
+	// re-classified as a different class.
+	Exempt []string
+}
+
+// LockOrder models the trace store's documented hierarchy
+// (internal/experiments/store.go): the per-shard flock serializing trace
+// installs against GC evictions is outermost, the store's in-memory
+// index mutex comes next, and the store-root flock around index.json
+// rewrites is innermost. put holds its shard flock while touching the
+// index under mu and flushing under the root flock; the GC must
+// therefore never take a shard flock while holding mu — the inversion
+// its own comment warns would deadlock the process.
+var LockOrder = LockOrderSpec{
+	Packages: []string{"vdtn/internal/experiments"},
+	Classes: []LockClass{
+		{Name: "shard", Rank: 1, Funcs: []string{"(*traceStore).lockShard"}},
+		{Name: "mu", Rank: 2, Mutexes: []string{"traceStore.mu"}},
+		{Name: "root", Rank: 3, Funcs: []string{"lockExclusive"}},
+	},
+	Exempt: []string{"(*traceStore).lockShard"},
+}
+
+// CheckpointFuncs name scheduler-level checkpoint primitives: a loop that
+// reaches one of these observes cancellation even without touching a
+// context directly, because the callee polls the check function between
+// events (see event.Scheduler.RunUntilCheck and the RecordContactsContext
+// recording pass).
+var CheckpointFuncs = []string{"RunUntilCheck"}

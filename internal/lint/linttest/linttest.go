@@ -1,0 +1,143 @@
+// Package linttest runs vdtnlint analyzers over want-comment fixtures,
+// in the style of golang.org/x/tools/go/analysis/analysistest but
+// self-contained: fixtures live under <testdata>/src/<import-path>/, are
+// type-checked from source (standard-library imports resolve through the
+// go tool's export data, sibling fixture packages recursively from
+// source), and every expected diagnostic is declared in the fixture
+// itself with a comment on the same line:
+//
+//	for k := range m { // want `iterates over map`
+//
+// The want text is a regular expression matched against the diagnostic
+// message. A line may carry several expectations (`// want "a" "b"`).
+// Diagnostics without a matching want, and wants without a matching
+// diagnostic, both fail the test.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"vdtn/internal/lint"
+)
+
+// Run loads each fixture package from testdata/src (testdata resolves
+// relative to the caller's directory), applies the analyzer through the
+// framework's suppression-aware driver, and checks the diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, analyzer *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	_, callerFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("linttest: cannot locate caller for testdata resolution")
+	}
+	srcRoot := filepath.Join(filepath.Dir(callerFile), "testdata", "src")
+	moduleDir := moduleRoot(t, filepath.Dir(callerFile))
+	for _, pkgPath := range pkgPaths {
+		t.Run(pkgPath, func(t *testing.T) {
+			unit, err := lint.LoadDir(moduleDir, srcRoot, pkgPath)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", pkgPath, err)
+			}
+			diags, err := lint.Run(unit, []*lint.Analyzer{analyzer})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", analyzer.Name, pkgPath, err)
+			}
+			check(t, unit, diags)
+		})
+	}
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod, so `go list` can
+// resolve export data in module mode.
+func moduleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	for d := dir; ; {
+		if matches, _ := filepath.Glob(filepath.Join(d, "go.mod")); len(matches) == 1 {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("linttest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// A want is one expected-diagnostic regexp, anchored to file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// wantRe matches each expectation: a `want` keyword followed by one or
+// more quoted or backquoted regexps.
+var (
+	wantMarker = regexp.MustCompile(`// want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+	wantToken  = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+)
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, tok := range wantToken.FindAllStringSubmatch(m[1], -1) {
+					raw := tok[1]
+					if raw == "" {
+						raw = tok[2]
+					} else {
+						raw = strings.ReplaceAll(raw, `\"`, `"`)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func check(t *testing.T, unit *lint.Unit, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, unit.Fset, unit.Files)
+	for _, d := range diags {
+		pos := unit.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"vdtn/internal/lint/linttest"
+	"vdtn/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "vdtn/internal/experiments")
+}

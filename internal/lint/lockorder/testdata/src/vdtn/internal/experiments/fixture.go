@@ -1,0 +1,117 @@
+// Fixture for the lockorder analyzer: a miniature trace store with the
+// real hierarchy (shard flock → traceStore.mu → root flock) and the
+// inversions the analyzer exists to catch.
+package fixture
+
+import "sync"
+
+type traceStore struct {
+	dir string
+	mu  sync.Mutex
+	idx map[string]int64
+}
+
+// lockExclusive stands in for the flock helper; it is the root class.
+func lockExclusive(path string) (unlock func()) {
+	return func() {}
+}
+
+// lockShard is exempt: it implements the shard class, so its internal
+// lockExclusive call is the definition of that class, not a root acquire.
+func (s *traceStore) lockShard(key string) (unlock func()) {
+	return lockExclusive(s.dir + "/" + key + "/.lock")
+}
+
+// put follows the documented order exactly: shard, then mu, then (via
+// flush) root. Silent.
+func (s *traceStore) put(key string) {
+	unlock := s.lockShard(key)
+	defer unlock()
+	s.mu.Lock()
+	s.idx[key] = 1
+	s.mu.Unlock()
+	s.flush()
+}
+
+// flush takes mu then the root flock: in order, silent.
+func (s *traceStore) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	unlock := lockExclusive(s.dir + "/.lock")
+	defer unlock()
+}
+
+// gcRight releases each shard flock before touching mu — the shape the
+// real gc uses precisely to avoid the inversion. Silent.
+func (s *traceStore) gcRight(keys []string) {
+	for _, k := range keys {
+		unlock := s.lockShard(k)
+		unlock()
+	}
+	s.mu.Lock()
+	delete(s.idx, "stale")
+	s.mu.Unlock()
+	s.flush()
+}
+
+// gcWrong takes a shard flock while holding mu: the two-process deadlock
+// the store's own comments warn about.
+func (s *traceStore) gcWrong(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	unlock := s.lockShard(key) // want `acquires the shard lock while holding the mu lock`
+	unlock()
+}
+
+// healWrong hides the same inversion behind a helper; the transitive
+// summary still sees it.
+func (s *traceStore) healWrong(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evict(key) // want `call to evict acquires the shard lock while holding the mu lock`
+}
+
+func (s *traceStore) evict(key string) {
+	unlock := s.lockShard(key)
+	defer unlock()
+}
+
+// double re-enters mu through a helper: self-deadlock on a plain Mutex.
+func (s *traceStore) double() {
+	s.mu.Lock()
+	s.helper() // want `call to helper re-acquires the mu lock already held`
+	s.mu.Unlock()
+}
+
+func (s *traceStore) helper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// indexWrong takes mu while holding the root flock: inverted.
+func (s *traceStore) indexWrong() {
+	unlock := lockExclusive(s.dir + "/.lock")
+	defer unlock()
+	s.mu.Lock() // want `acquires the mu lock while holding the root lock`
+	s.mu.Unlock()
+}
+
+// Goroutine bodies are scanned as independent functions; the inversion
+// inside one is still an inversion.
+func (s *traceStore) spawnWrong(key string) {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		unlock := s.lockShard(key) // want `acquires the shard lock while holding the mu lock`
+		unlock()
+	}()
+}
+
+// A justified inversion (single-process startup path) is suppressed.
+func (s *traceStore) migrateSpecial(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//vdtnlint:lockorder-ok startup migration runs before any concurrent runner exists
+	unlock := s.lockShard(key)
+	unlock()
+}

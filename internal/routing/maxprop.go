@@ -2,11 +2,13 @@ package routing
 
 import (
 	"container/heap"
+	"maps"
 	"math"
 	"sort"
 
 	"vdtn/internal/buffer"
 	"vdtn/internal/bundle"
+	"vdtn/internal/detmap"
 	"vdtn/internal/units"
 )
 
@@ -77,26 +79,26 @@ func (mx *MaxProp) ContactUp(now float64, p Peer) {
 	mx.contactCount++
 
 	// Incremental averaging: bump the met peer, re-normalize to sum 1.
+	// Both passes walk sorted keys: float addition and division round
+	// per-operation, so iteration order would otherwise leak the runtime's
+	// map randomization into the likelihoods (and from there into every
+	// queue comparison downstream).
 	mx.meet[peerID]++
 	sum := 0.0
-	for _, v := range mx.meet {
-		sum += v
+	for _, k := range detmap.Keys(mx.meet) {
+		sum += mx.meet[k]
 	}
-	for k, v := range mx.meet {
-		mx.meet[k] = v / sum
+	for _, k := range detmap.Keys(mx.meet) {
+		mx.meet[k] /= sum
 	}
 
 	if remote, ok := p.Router().(*MaxProp); ok {
 		// Exchange routing metadata: snapshot the peer's likelihood vector
 		// and union its acknowledgment list into ours.
 		snap := make(map[int]float64, len(remote.meet))
-		for k, v := range remote.meet {
-			snap[k] = v
-		}
+		maps.Copy(snap, remote.meet)
 		mx.peerVectors[peerID] = snap
-		for id := range remote.acked {
-			mx.acked[id] = true
-		}
+		maps.Copy(mx.acked, remote.acked)
 		// Delete acked messages: they are already delivered.
 		for _, m := range mx.buf.Messages() {
 			if mx.acked[m.ID] {
@@ -238,8 +240,11 @@ func (mx *MaxProp) dijkstra() map[int]float64 {
 			continue
 		}
 		done[it.node] = true
-		for nb, f := range vector(it.node) {
-			nd := it.dist + (1 - f)
+		// Sorted expansion keeps the heap's insertion sequence — and with
+		// it the pop order of equal-cost nodes — identical across runs.
+		vec := vector(it.node)
+		for _, nb := range detmap.Keys(vec) {
+			nd := it.dist + (1 - vec[nb])
 			if old, ok := dist[nb]; !ok || nd < old {
 				dist[nb] = nd
 				heap.Push(q, costItem{nb, nd})

@@ -102,6 +102,7 @@ func (pr *Prophet) age(now float64) {
 		return
 	}
 	factor := math.Pow(pr.cfg.Gamma, elapsed/pr.cfg.TimeUnit)
+	//vdtnlint:unordered-ok each key is scaled (or deleted) independently; no cross-key reads, so order cannot affect the result
 	for d, p := range pr.preds {
 		p *= factor
 		if p < 1e-6 { // garbage-collect vanished entries
@@ -126,6 +127,7 @@ func (pr *Prophet) ContactUp(now float64, p Peer) {
 	if remote, ok := p.Router().(*Prophet); ok {
 		remote.age(now)
 		pab := pr.preds[peerID]
+		//vdtnlint:unordered-ok one commutative update per distinct destination; pab is captured before the loop, so no entry read is order-dependent
 		for d, pbd := range remote.preds {
 			if d == pr.self {
 				continue

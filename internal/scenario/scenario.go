@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"vdtn/internal/contactplan"
+	"vdtn/internal/detmap"
 	"vdtn/internal/sim"
 	"vdtn/internal/units"
 )
@@ -180,10 +181,12 @@ func PolicyByName(name string) (sim.PolicyKind, bool) {
 }
 
 // ProtocolName returns the schema name of a protocol kind ("" if the kind
-// is outside the schema).
+// is outside the schema). Sorted iteration makes the reverse lookup a
+// function: if two names ever aliased one kind, the map's random order
+// would pick a different winner per process.
 func ProtocolName(kind sim.ProtocolKind) string {
-	for name, k := range protocolNames {
-		if k == kind {
+	for _, name := range detmap.Keys(protocolNames) {
+		if protocolNames[name] == kind {
 			return name
 		}
 	}
@@ -193,8 +196,8 @@ func ProtocolName(kind sim.ProtocolKind) string {
 // PolicyName returns the schema name of a policy kind ("" if the kind is
 // outside the schema).
 func PolicyName(kind sim.PolicyKind) string {
-	for name, k := range policyNames {
-		if k == kind {
+	for _, name := range detmap.Keys(policyNames) {
+		if policyNames[name] == kind {
 			return name
 		}
 	}
@@ -339,16 +342,8 @@ func Save(name string, c sim.Config) ([]byte, error) {
 		TTLMin:           c.TTL / 60,
 		SprayCopies:      c.SprayCopies,
 	}
-	for name, kind := range protocolNames {
-		if kind == c.Protocol {
-			f.Protocol = name
-		}
-	}
-	for name, kind := range policyNames {
-		if kind == c.Policy {
-			f.Policy = name
-		}
-	}
+	f.Protocol = ProtocolName(c.Protocol)
+	f.Policy = PolicyName(c.Policy)
 	if c.Plan != nil {
 		for _, w := range c.Plan.Windows() {
 			f.Contacts = append(f.Contacts, Window{Start: w.Start, End: w.End, A: w.A, B: w.B})
