@@ -13,6 +13,7 @@ package mobility
 
 import (
 	"fmt"
+	"math"
 
 	"vdtn/internal/geo"
 	"vdtn/internal/roadmap"
@@ -34,6 +35,10 @@ type Stationary struct {
 
 // Position returns the fixed position.
 func (s Stationary) Position(now float64) geo.Point { return s.At }
+
+// StaticUntil reports that the position never changes (the wireless
+// scan's static-entity hint; see wireless.StaticUntiler).
+func (s Stationary) StaticUntil(now float64) float64 { return math.Inf(1) }
 
 // timeTolerance absorbs float64 noise in repeated same-instant queries.
 const timeTolerance = 1e-9
@@ -141,6 +146,19 @@ func (w *MapWalk) Position(now float64) geo.Point {
 	}
 }
 
+// StaticUntil reports how long the vehicle is guaranteed to stand still:
+// through the end of the current pause while parked, or not at all while
+// driving. Like Position, it must be called with the model's state at
+// `now` (i.e. immediately after Position(now)); it consumes nothing from
+// the random stream, so skipping position queries during a pause leaves
+// the trajectory bit-identical.
+func (w *MapWalk) StaticUntil(now float64) float64 {
+	if w.paused {
+		return w.pauseEnd
+	}
+	return now
+}
+
 // depart commits to the next trip, consuming random draws for destination
 // and speed.
 func (w *MapWalk) depart(at float64) {
@@ -205,6 +223,14 @@ func NewRandomWaypoint(area geo.Rect, rng *xrand.Rand, cfg MapWalkConfig) *Rando
 	w.pos = w.randomPoint()
 	w.pauseEnd = 0
 	return w
+}
+
+// StaticUntil mirrors MapWalk.StaticUntil for the free-space walk.
+func (w *RandomWaypoint) StaticUntil(now float64) float64 {
+	if w.paused {
+		return w.pauseEnd
+	}
+	return now
 }
 
 func (w *RandomWaypoint) randomPoint() geo.Point {

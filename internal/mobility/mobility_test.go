@@ -1,6 +1,7 @@
 package mobility
 
 import (
+	"math"
 	"testing"
 
 	"vdtn/internal/geo"
@@ -233,5 +234,100 @@ func BenchmarkMapWalkPosition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Position(float64(i))
+	}
+}
+
+func TestStationaryStaticUntil(t *testing.T) {
+	s := Stationary{At: geo.Point{X: 1, Y: 2}}
+	if got := s.StaticUntil(42); !math.IsInf(got, 1) {
+		t.Fatalf("StaticUntil = %v, want +Inf", got)
+	}
+}
+
+// TestMapWalkStaticUntilTracksPauses: while paused the hint promises
+// stillness through pauseEnd; while driving it promises nothing.
+func TestMapWalkStaticUntilTracksPauses(t *testing.T) {
+	g := roadmap.HelsinkiLike()
+	w := NewMapWalk(g, xrand.New(3), paperCfg())
+	sawPause, sawDrive := false, false
+	var prev geo.Point
+	for now := 0.0; now <= units.Hours(2); now += 5 {
+		p := w.Position(now)
+		until := w.StaticUntil(now)
+		if until > now {
+			sawPause = true
+			// The promise must hold: re-query inside the window and the
+			// position must not have moved.
+			if q := w.Position(math.Min(until-1e-6, now+1)); q != p {
+				t.Fatalf("t=%v: promised static until %v but moved %v -> %v", now, until, p, q)
+			}
+		} else {
+			sawDrive = true
+			if until != now {
+				t.Fatalf("t=%v: driving hint = %v, want now", now, until)
+			}
+			if now > 0 && p == prev {
+				// Not an error per se (could be mid-turn), but with 5 s
+				// steps at >=30 km/h a driving vehicle always moves.
+				t.Fatalf("t=%v: driving but did not move", now)
+			}
+		}
+		prev = p
+	}
+	if !sawPause || !sawDrive {
+		t.Fatalf("trajectory did not exercise both modes: pause=%v drive=%v", sawPause, sawDrive)
+	}
+}
+
+// TestMapWalkSparseQueriesBitIdentical is the property the wireless scan
+// skip relies on: skipping Position queries during a promised-static
+// window must not change the trajectory, because StaticUntil consumes
+// nothing from the random stream. Two identically-seeded walkers — one
+// queried every second, one only when its own hint expires — must agree
+// exactly at every common instant.
+func TestMapWalkSparseQueriesBitIdentical(t *testing.T) {
+	g := roadmap.HelsinkiLike()
+	dense := NewMapWalk(g, xrand.New(9), paperCfg())
+	sparse := NewMapWalk(g, xrand.New(9), paperCfg())
+
+	skipUntil := -1.0
+	checked := 0
+	for now := 0.0; now <= units.Hours(3); now++ {
+		dp := dense.Position(now)
+		if now < skipUntil {
+			continue // sparse walker skipped, like the scan would
+		}
+		sp := sparse.Position(now)
+		if sp != dp {
+			t.Fatalf("t=%v: sparse %v != dense %v", now, sp, dp)
+		}
+		checked++
+		skipUntil = sparse.StaticUntil(now)
+	}
+	if checked == 0 || dense.Trips() != sparse.Trips() {
+		t.Fatalf("checked=%d denseTrips=%d sparseTrips=%d",
+			checked, dense.Trips(), sparse.Trips())
+	}
+}
+
+// TestRandomWaypointSparseQueriesBitIdentical mirrors the MapWalk skip
+// property for the free-space model.
+func TestRandomWaypointSparseQueriesBitIdentical(t *testing.T) {
+	area := geo.Rect{Min: geo.Point{}, Max: geo.Point{X: 500, Y: 500}}
+	cfg := MapWalkConfig{SpeedLoMs: 2, SpeedHiMs: 5, PauseLoS: 10, PauseHiS: 60}
+	dense := NewRandomWaypoint(area, xrand.New(21), cfg)
+	sparse := NewRandomWaypoint(area, xrand.New(21), cfg)
+
+	skipUntil := -1.0
+	for now := 0.0; now <= 3600; now++ {
+		dp := dense.Position(now)
+		if now < skipUntil {
+			continue
+		}
+		sp := sparse.Position(now)
+		if sp != dp {
+			t.Fatalf("t=%v: sparse %v != dense %v", now, sp, dp)
+		}
+		skipUntil = sparse.StaticUntil(now)
 	}
 }

@@ -25,12 +25,19 @@ func (k Kind) String() string {
 	return "vehicle"
 }
 
+// staticUntiler mirrors wireless.StaticUntiler structurally, so mobility
+// models can offer the scan-skip hint without importing the radio layer.
+type staticUntiler interface {
+	StaticUntil(now float64) float64
+}
+
 // Node is one network participant: mobility + buffer + router + the
 // delivery bookkeeping of the node as a destination.
 type Node struct {
 	id     int
 	kind   Kind
 	mob    mobility.Model
+	hint   staticUntiler // mob's static-until hint, nil if it has none
 	buf    *buffer.Store
 	router routing.Router
 
@@ -40,10 +47,12 @@ type Node struct {
 }
 
 func newNode(id int, kind Kind, mob mobility.Model, buf *buffer.Store, r routing.Router) *Node {
+	hint, _ := mob.(staticUntiler)
 	n := &Node{
 		id:        id,
 		kind:      kind,
 		mob:       mob,
+		hint:      hint,
 		buf:       buf,
 		router:    r,
 		delivered: make(map[bundle.ID]float64),
@@ -57,6 +66,17 @@ func (n *Node) ID() int { return n.id }
 
 // Position implements wireless.Entity.
 func (n *Node) Position(now float64) geo.Point { return n.mob.Position(now) }
+
+// StaticUntil implements wireless.StaticUntiler by forwarding the
+// mobility model's hint: the proximity scan skips this node while its
+// position is pinned (a stationary relay forever, a paused walker until
+// the pause ends). Models without the hint never promise stillness.
+func (n *Node) StaticUntil(now float64) float64 {
+	if n.hint != nil {
+		return n.hint.StaticUntil(now)
+	}
+	return now
+}
 
 // Kind returns the node class.
 func (n *Node) Kind() Kind { return n.kind }

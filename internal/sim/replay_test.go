@@ -33,12 +33,29 @@ func replayConfig(seed uint64) Config {
 func runTraced(t *testing.T, cfg Config) (Result, []trace.Event) {
 	t.Helper()
 	var lg trace.Log
-	cfg.Trace = lg.Append
+	var w *World
+	// Piggyback the medium's adjacency-vs-connected-map invariant on every
+	// contact transition, so every protocol × policy × contact-source
+	// combination that flows through here audits the adjacency cache at
+	// each point it changes.
+	cfg.Trace = func(ev trace.Event) {
+		lg.Append(ev)
+		if ev.Kind == trace.ContactUp || ev.Kind == trace.ContactDown {
+			if err := w.medium.CheckInvariants(); err != nil {
+				t.Fatalf("adjacency invariant broken at t=%v after %v(%d,%d): %v",
+					ev.Time, ev.Kind, ev.A, ev.B, err)
+			}
+		}
+	}
 	w, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return w.Run(), lg.Events()
+	res := w.Run()
+	if err := w.medium.CheckInvariants(); err != nil {
+		t.Fatalf("adjacency invariant broken at end of run: %v", err)
+	}
+	return res, lg.Events()
 }
 
 // TestReplayEquivalence is the record/replay cache's headline guarantee:

@@ -1,0 +1,5 @@
+//go:build !race
+
+package wireless
+
+const raceEnabled = false

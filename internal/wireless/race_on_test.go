@@ -1,0 +1,8 @@
+//go:build race
+
+package wireless
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// artifacts skip under -race: instrumentation slows the two scan paths by
+// different factors, so their ratio stops meaning anything.
+const raceEnabled = true

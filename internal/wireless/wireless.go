@@ -11,13 +11,23 @@
 //
 // Contacts are detected by a periodic proximity scan (default every
 // simulated second — the ONE's granularity class) over a uniform spatial
-// hash grid with cell size equal to the radio range, so each scan is
-// O(nodes + contacts) rather than O(nodes²).
+// hash grid with cell size equal to the radio range. The scan is
+// incremental: positions, grid buckets and the in-range pair set persist
+// across ticks, entities whose mobility model reports a static-until hint
+// (parked relays, paused walkers) are skipped entirely, and a steady-state
+// tick allocates nothing — so a scan costs O(movers + contacts), not
+// O(nodes²) and not even O(nodes).
+//
+// Every contact transition — scanned, planned or replayed — updates a
+// sorted per-node adjacency cache, so PeersOf is an O(1) lookup of an
+// O(degree) slice instead of a walk over the global contact set.
 package wireless
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"vdtn/internal/event"
@@ -95,8 +105,11 @@ type Medium struct {
 	handler  ContactHandler
 
 	connected map[pairKey]bool
+	idxOf     map[int]int32 // entity id -> index into entities/adj
+	adj       [][]int       // entity index -> sorted peer ids, updated on every transition
 	busy      map[int]*Transfer
 
+	sc       scanState // live-scan working set, reused across ticks
 	stopScan func()
 	planned  bool
 
@@ -123,6 +136,7 @@ func NewMedium(sched *event.Scheduler, cfg Config) *Medium {
 		cfg:       cfg,
 		byID:      make(map[int]Entity),
 		connected: make(map[pairKey]bool),
+		idxOf:     make(map[int]int32),
 		busy:      make(map[int]*Transfer),
 	}
 }
@@ -134,10 +148,16 @@ func (m *Medium) Add(e Entity) {
 	if id < 0 {
 		panic(fmt.Sprintf("wireless: negative entity id %d", id))
 	}
+	if id > math.MaxUint32 {
+		// The scan packs two ids into one uint64 pair key.
+		panic(fmt.Sprintf("wireless: entity id %d exceeds 32 bits", id))
+	}
 	if _, dup := m.byID[id]; dup {
 		panic(fmt.Sprintf("wireless: duplicate entity id %d", id))
 	}
+	m.idxOf[id] = int32(len(m.entities))
 	m.entities = append(m.entities, e)
+	m.adj = append(m.adj, nil)
 	m.byID[id] = e
 }
 
@@ -159,17 +179,31 @@ type ContactWindow struct {
 	Start, End float64
 }
 
+// planEvent is one half of a contact window: a raise at its start or a
+// drop at its end.
+type planEvent struct {
+	t  float64
+	up bool
+	k  pairKey
+}
+
 // StartPlan drives contacts from an explicit schedule instead of proximity
 // scanning: each window raises the contact at Start and breaks it (aborting
 // any transfer riding it) at End. Entity positions are ignored in this
 // mode. Windows must reference registered entities and be pre-validated
 // (internal/contactplan does both); StartPlan panics on unknown ids.
 // Start and StartPlan are mutually exclusive.
+//
+// Transitions that fall on the same instant honor the scan's ordering
+// contract regardless of the order windows were given in: all downs fire
+// first (freeing the endpoints' radios), then all ups, each ascending by
+// node pair. One scheduler event is dispatched per distinct instant.
 func (m *Medium) StartPlan(windows []ContactWindow) {
 	if m.stopScan != nil || m.planned {
 		panic("wireless: StartPlan after Start")
 	}
 	m.planned = true
+	events := make([]planEvent, 0, 2*len(windows))
 	for _, win := range windows {
 		if _, ok := m.byID[win.A]; !ok {
 			panic(fmt.Sprintf("wireless: plan references unknown node %d", win.A))
@@ -178,18 +212,41 @@ func (m *Medium) StartPlan(windows []ContactWindow) {
 			panic(fmt.Sprintf("wireless: plan references unknown node %d", win.B))
 		}
 		k := key(win.A, win.B)
-		m.sched.At(win.Start, func(now float64) {
-			if m.connected[k] {
-				return // overlapping windows merged upstream; be safe
+		events = append(events,
+			planEvent{t: win.Start, up: true, k: k},
+			planEvent{t: win.End, up: false, k: k})
+	}
+	slices.SortFunc(events, func(a, b planEvent) int {
+		if a.t != b.t {
+			return cmp.Compare(a.t, b.t)
+		}
+		if a.up != b.up {
+			if a.up {
+				return 1 // downs before ups within an instant
 			}
-			m.raise(now, k)
-		})
-		m.sched.At(win.End, func(now float64) {
-			if !m.connected[k] {
-				return
+			return -1
+		}
+		return comparePairs(a.k, b.k)
+	})
+	for start := 0; start < len(events); {
+		end := start
+		for end < len(events) && events[end].t == events[start].t {
+			end++
+		}
+		batch := events[start:end]
+		m.sched.At(batch[0].t, func(now float64) {
+			for _, ev := range batch {
+				switch {
+				case ev.up && !m.connected[ev.k]:
+					m.raise(now, ev.k)
+				case !ev.up && m.connected[ev.k]:
+					// The guards keep overlapping windows (merged
+					// upstream, but this is a public API) idempotent.
+					m.drop(now, ev.k)
+				}
 			}
-			m.drop(now, k)
 		})
+		start = end
 	}
 }
 
@@ -297,126 +354,105 @@ func (m *Medium) Busy(id int) bool { return m.busy[id] != nil }
 // Rate returns the configured contact data rate.
 func (m *Medium) Rate() units.BitRate { return m.cfg.Rate }
 
-// PeersOf returns the ids currently in contact with node id, ascending.
+// PeersOf returns the ids currently in contact with node id, in ascending
+// order. The slice is the medium's incrementally-maintained adjacency
+// cache: it is valid until the next contact transition and must not be
+// modified or retained by the caller.
 func (m *Medium) PeersOf(id int) []int {
-	var out []int
-	for k, up := range m.connected {
-		if !up {
-			continue
-		}
-		switch id {
-		case k[0]:
-			out = append(out, k[1])
-		case k[1]:
-			out = append(out, k[0])
-		}
+	i, ok := m.idxOf[id]
+	if !ok {
+		return nil
 	}
-	sort.Ints(out)
-	return out
+	return m.adj[i]
 }
 
-// scan recomputes the proximity graph and fires contact transitions.
-func (m *Medium) scan(now float64) {
-	curr := m.proximityPairs(now)
-
-	// Downs first: a contact that broke frees its endpoints' radios before
-	// new-contact handlers try to start transfers on this same tick.
-	var downs []pairKey
-	for k, up := range m.connected {
-		if up && !curr[k] {
-			downs = append(downs, k)
-		}
+// insertPeer adds v to the sorted peer slice s, keeping it sorted.
+func insertPeer(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s // already present (unreachable: raise guards on connected)
 	}
-	sort.Slice(downs, func(i, j int) bool {
-		if downs[i][0] != downs[j][0] {
-			return downs[i][0] < downs[j][0]
-		}
-		return downs[i][1] < downs[j][1]
-	})
-	for _, k := range downs {
-		m.drop(now, k)
-	}
-
-	var ups []pairKey
-	for k := range curr {
-		if !m.connected[k] {
-			ups = append(ups, k)
-		}
-	}
-	sort.Slice(ups, func(i, j int) bool {
-		if ups[i][0] != ups[j][0] {
-			return ups[i][0] < ups[j][0]
-		}
-		return ups[i][1] < ups[j][1]
-	})
-	for _, k := range ups {
-		m.raise(now, k)
-	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
 }
 
-// raise fires a contact-up transition: state, counters, recording tap,
-// handler. All three contact sources (scan, plan, replay) funnel through
-// here so a recorded run and its replay see identical side-effect order.
+// removePeer deletes v from the sorted peer slice s, keeping capacity.
+func removePeer(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i >= len(s) || s[i] != v {
+		return s // not present (unreachable: drop guards on connected)
+	}
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// raise fires a contact-up transition: state, adjacency, counters,
+// recording tap, handler. All three contact sources (scan, plan, replay)
+// funnel through here so a recorded run and its replay see identical
+// side-effect order — and so the adjacency cache is maintained uniformly.
 func (m *Medium) raise(now float64, k pairKey) {
 	m.connected[k] = true
+	ia, ib := m.idxOf[k[0]], m.idxOf[k[1]]
+	m.adj[ia] = insertPeer(m.adj[ia], k[1])
+	m.adj[ib] = insertPeer(m.adj[ib], k[0])
 	m.ContactsSeen++
 	if m.rec != nil {
 		m.rec.Transitions = append(m.rec.Transitions, Transition{Time: now, A: k[0], B: k[1], Up: true})
 	}
 	if m.handler != nil {
-		m.handler.ContactUp(now, m.byID[k[0]], m.byID[k[1]])
+		m.handler.ContactUp(now, m.entities[ia], m.entities[ib])
 	}
 }
 
 // drop fires a contact-down transition, aborting any transfer on the pair.
 func (m *Medium) drop(now float64, k pairKey) {
 	delete(m.connected, k)
+	ia, ib := m.idxOf[k[0]], m.idxOf[k[1]]
+	m.adj[ia] = removePeer(m.adj[ia], k[1])
+	m.adj[ib] = removePeer(m.adj[ib], k[0])
 	m.abortPair(now, k)
 	if m.rec != nil {
 		m.rec.Transitions = append(m.rec.Transitions, Transition{Time: now, A: k[0], B: k[1], Up: false})
 	}
 	if m.handler != nil {
-		m.handler.ContactDown(now, m.byID[k[0]], m.byID[k[1]])
+		m.handler.ContactDown(now, m.entities[ia], m.entities[ib])
 	}
 }
 
-// proximityPairs returns the set of entity pairs within radio range at now,
-// using a uniform hash grid with cell size = range so only the 3x3 cell
-// neighbourhood needs checking.
-func (m *Medium) proximityPairs(now float64) map[pairKey]bool {
-	n := len(m.entities)
-	pos := make([]geo.Point, n)
-	for i, e := range m.entities {
-		pos[i] = e.Position(now)
-	}
-	cell := m.cfg.Range
-	type cellKey [2]int64
-	grid := make(map[cellKey][]int, n)
-	ck := func(p geo.Point) cellKey {
-		return cellKey{int64(math.Floor(p.X / cell)), int64(math.Floor(p.Y / cell))}
-	}
-	for i, p := range pos {
-		k := ck(p)
-		grid[k] = append(grid[k], i)
-	}
-	r2 := m.cfg.Range * m.cfg.Range
-	pairs := make(map[pairKey]bool)
-	for i, p := range pos {
-		base := ck(p)
-		for dx := int64(-1); dx <= 1; dx++ {
-			for dy := int64(-1); dy <= 1; dy++ {
-				for _, j := range grid[cellKey{base[0] + dx, base[1] + dy}] {
-					if j <= i {
-						continue
-					}
-					if pos[i].Dist2(pos[j]) <= r2 {
-						pairs[key(m.entities[i].ID(), m.entities[j].ID())] = true
-					}
-				}
+// CheckInvariants verifies the adjacency cache against the connected set:
+// every peer slice must be strictly ascending, self-free, and mirror a
+// live connected pair symmetrically, and the total degree must equal
+// twice the connected-pair count (so no pair is missing from the cache).
+// It exists for the equivalence suites and property tests; it is not
+// called on any hot path.
+func (m *Medium) CheckInvariants() error {
+	degree := 0
+	for idx, e := range m.entities {
+		id := e.ID()
+		peers := m.adj[idx]
+		degree += len(peers)
+		for i, p := range peers {
+			if p == id {
+				return fmt.Errorf("wireless: node %d adjacent to itself", id)
+			}
+			if i > 0 && peers[i-1] >= p {
+				return fmt.Errorf("wireless: adjacency of %d not strictly ascending: %v", id, peers)
+			}
+			if !m.connected[key(id, p)] {
+				return fmt.Errorf("wireless: adjacency (%d,%d) not in connected set", id, p)
+			}
+			back := m.adj[m.idxOf[p]]
+			if j := sort.SearchInts(back, id); j >= len(back) || back[j] != id {
+				return fmt.Errorf("wireless: adjacency (%d,%d) not symmetric", id, p)
 			}
 		}
 	}
-	return pairs
+	if degree != 2*len(m.connected) {
+		return fmt.Errorf("wireless: total degree %d, connected pairs %d", degree, len(m.connected))
+	}
+	return nil
 }
 
 // StartTransfer begins moving size bytes from node `from` to node `to`.

@@ -378,7 +378,7 @@ func benchScan(b *testing.B, n int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.proximityPairs(0)
+		m.scan(float64(i))
 	}
 }
 
