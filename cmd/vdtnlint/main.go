@@ -1,5 +1,5 @@
 // Command vdtnlint runs the repo's determinism & safety analyzers
-// (internal/lint/...): detmaprange, detsource, ctxloop, lockorder.
+// (internal/lint/...): detmaprange, detsource, detgo, ctxloop, lockorder.
 //
 // It speaks two protocols:
 //
@@ -38,6 +38,7 @@ import (
 
 	"vdtn/internal/lint"
 	"vdtn/internal/lint/ctxloop"
+	"vdtn/internal/lint/detgo"
 	"vdtn/internal/lint/detmaprange"
 	"vdtn/internal/lint/detsource"
 	"vdtn/internal/lint/lockorder"
@@ -46,6 +47,7 @@ import (
 var analyzers = []*lint.Analyzer{
 	detmaprange.Analyzer,
 	detsource.Analyzer,
+	detgo.Analyzer,
 	ctxloop.Analyzer,
 	lockorder.Analyzer,
 }

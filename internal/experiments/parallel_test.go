@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"vdtn/internal/sim"
+)
+
+// TestTotalParallelismBudget pins the shared-budget arithmetic: the cell
+// worker pool is clamped to the budget, and each cell's scan workers to
+// the budget's per-worker share — so Workers × ScanWorkers never exceeds
+// TotalParallelism no matter how the two knobs were set.
+func TestTotalParallelismBudget(t *testing.T) {
+	cases := []struct {
+		name        string
+		opt         Options
+		wantWorkers int
+		wantScanCap int
+	}{
+		{"workers clamped to budget",
+			Options{Workers: 32, TotalParallelism: 8}, 8, 1},
+		{"budget split across few workers",
+			Options{Workers: 2, TotalParallelism: 8}, 2, 4},
+		{"odd split rounds down",
+			Options{Workers: 3, TotalParallelism: 8}, 3, 2},
+		{"defaulted workers stay within budget",
+			Options{TotalParallelism: 4},
+			min(runtime.GOMAXPROCS(0), 4), max(1, 4/min(runtime.GOMAXPROCS(0), 4))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opt.normalized()
+			if o.Workers != tc.wantWorkers {
+				t.Fatalf("Workers = %d, want %d", o.Workers, tc.wantWorkers)
+			}
+			if cap := o.scanWorkerCap(); cap != tc.wantScanCap {
+				t.Fatalf("scanWorkerCap = %d, want %d", cap, tc.wantScanCap)
+			}
+			if o.Workers*o.scanWorkerCap() > o.TotalParallelism {
+				t.Fatalf("budget exceeded: %d workers x %d scan workers > %d",
+					o.Workers, o.scanWorkerCap(), o.TotalParallelism)
+			}
+		})
+	}
+
+	// Unset budget defaults to GOMAXPROCS and still caps the product.
+	o := Options{Workers: 2 * runtime.GOMAXPROCS(0)}.normalized()
+	if o.TotalParallelism != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default TotalParallelism = %d, want GOMAXPROCS", o.TotalParallelism)
+	}
+	if o.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers = %d not clamped to default budget", o.Workers)
+	}
+}
+
+// TestCellConfigScanWorkerClamp pins how the budget reaches the cells:
+// the Options override beats the base config, and both are clamped to
+// the per-worker share; the all-default path leaves cells serial.
+func TestCellConfigScanWorkerClamp(t *testing.T) {
+	exp := tinyExperiment()
+	job0 := job{seed: 1}
+
+	// Defaults: no override, base config serial -> cells stay serial.
+	opt := Options{Seeds: []uint64{1}, BaseConfig: tinyBase}.normalized()
+	cfg, err := cellConfig(exp, opt, job0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ScanWorkers != 0 {
+		t.Fatalf("default cell ScanWorkers = %d, want 0", cfg.ScanWorkers)
+	}
+
+	// Override within budget passes through.
+	opt = Options{Seeds: []uint64{1}, BaseConfig: tinyBase,
+		Workers: 2, ScanWorkers: 3, TotalParallelism: 8}.normalized()
+	if cfg, err = cellConfig(exp, opt, job0); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ScanWorkers != 3 {
+		t.Fatalf("cell ScanWorkers = %d, want 3", cfg.ScanWorkers)
+	}
+
+	// Override beyond the per-worker share is clamped to it.
+	opt = Options{Seeds: []uint64{1}, BaseConfig: tinyBase,
+		Workers: 4, ScanWorkers: 16, TotalParallelism: 8}.normalized()
+	if cfg, err = cellConfig(exp, opt, job0); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ScanWorkers != 2 {
+		t.Fatalf("cell ScanWorkers = %d, want 2 (budget 8 / 4 workers)", cfg.ScanWorkers)
+	}
+
+	// A base config asking for more than the share is clamped too.
+	wide := Options{Seeds: []uint64{1}, BaseConfig: func() sim.Config {
+		c := tinyBase()
+		c.ScanWorkers = 64
+		return c
+	}, Workers: 4, TotalParallelism: 4}
+	if cfg, err = cellConfig(exp, wide.normalized(), job0); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ScanWorkers != 1 {
+		t.Fatalf("cell ScanWorkers = %d, want 1 (saturated budget)", cfg.ScanWorkers)
+	}
+}
+
+// TestSweepScanWorkersBitIdentical runs the same sweep serial and with
+// parallel scans under a tight budget and requires identical results:
+// the sweep-level restatement of the per-run determinism contract.
+func TestSweepScanWorkersBitIdentical(t *testing.T) {
+	exp := tinyExperiment()
+	serial, err := RunE(exp, Options{Seeds: []uint64{1, 2}, BaseConfig: tinyBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunE(exp, Options{Seeds: []uint64{1, 2}, BaseConfig: tinyBase,
+		Workers: 2, ScanWorkers: 3, TotalParallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Cells, parallel.Cells) {
+		t.Fatal("parallel-scan sweep diverged from serial sweep")
+	}
+}

@@ -1,0 +1,77 @@
+// Package detgo implements the vdtnlint analyzer auditing goroutine
+// fan-out in determinism-critical packages.
+//
+// The simulator's determinism contract allows concurrency only as an
+// invisible implementation detail: the parallel proximity scan fans out
+// between barriers and merges order-independent shards (see
+// docs/DETERMINISM.md). Any OTHER goroutine in a trace-emitting package
+// is a determinism hazard by default — goroutine interleaving is
+// scheduler state, and an unjustified `go` statement or WaitGroup-shaped
+// fan-out can leak it into event order while passing `go build` and the
+// sampled golden suites. detgo therefore flags every `go` statement and
+// every sync.WaitGroup method call in a critical package unless the line
+// carries a //vdtnlint:detgo justification, keeping each parallel
+// section individually auditable.
+package detgo
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vdtn/internal/lint"
+	"vdtn/internal/lint/lintcfg"
+)
+
+// Analyzer is the detgo analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:      "detgo",
+	Doc:       "audit goroutine launches and WaitGroup barriers in determinism-critical packages",
+	Directive: "detgo",
+	AppliesTo: lintcfg.IsCritical,
+	Run:       run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in a determinism-critical package; goroutines may not influence event order — justify with //vdtnlint:detgo (%s)",
+					lintcfg.DocPath)
+			case *ast.CallExpr:
+				checkWaitGroup(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWaitGroup flags method calls on sync.WaitGroup (Add, Done, Wait):
+// the barrier shape that accompanies hand-rolled fan-out. The type is
+// resolved through the checker, so aliases and embedded fields are caught
+// and look-alike types from other packages are not.
+func checkWaitGroup(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "WaitGroup" {
+		return
+	}
+	pass.Reportf(call.Pos(), "sync.WaitGroup.%s in a determinism-critical package; barrier fan-out must be auditable — justify with //vdtnlint:detgo (%s)",
+		fn.Name(), lintcfg.DocPath)
+}

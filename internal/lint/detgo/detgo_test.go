@@ -1,0 +1,12 @@
+package detgo_test
+
+import (
+	"testing"
+
+	"vdtn/internal/lint/detgo"
+	"vdtn/internal/lint/linttest"
+)
+
+func TestDetGo(t *testing.T) {
+	linttest.Run(t, detgo.Analyzer, "vdtn/internal/wireless")
+}

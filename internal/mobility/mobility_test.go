@@ -331,3 +331,53 @@ func TestRandomWaypointSparseQueriesBitIdentical(t *testing.T) {
 		skipUntil = sparse.StaticUntil(now)
 	}
 }
+
+// TestMapWalkParallelQueriesBitIdentical pins the property the parallel
+// scan's phase 1 rests on: walkers sharing one road graph can be queried
+// from concurrent goroutines (each walker owned by exactly one goroutine,
+// non-decreasing times — the scan's access pattern) and produce exactly
+// the positions a serial sweep produces. The shared state is the graph's
+// shortest-path cache, which is locked internally; per-walker RNG streams
+// make each walker's draw sequence independent of the others' schedules.
+// Run under -race in CI, this is the mobility layer's concurrency audit.
+func TestMapWalkParallelQueriesBitIdentical(t *testing.T) {
+	g := roadmap.HelsinkiLike()
+	const walkers = 16
+	const horizon = 1800.0
+
+	serialPos := make([][]geo.Point, walkers)
+	for i := 0; i < walkers; i++ {
+		w := NewMapWalk(g, xrand.New(uint64(100+i)), paperCfg())
+		for now := 0.0; now <= horizon; now++ {
+			serialPos[i] = append(serialPos[i], w.Position(now))
+		}
+	}
+
+	// Fresh graph, so the concurrent run populates the shortest-path
+	// cache itself (racing cache misses, not warm hits).
+	g2 := roadmap.HelsinkiLike()
+	parallelPos := make([][]geo.Point, walkers)
+	done := make(chan int, walkers)
+	for i := 0; i < walkers; i++ {
+		i := i
+		w := NewMapWalk(g2, xrand.New(uint64(100+i)), paperCfg())
+		go func() {
+			for now := 0.0; now <= horizon; now++ {
+				parallelPos[i] = append(parallelPos[i], w.Position(now))
+			}
+			done <- i
+		}()
+	}
+	for i := 0; i < walkers; i++ {
+		<-done
+	}
+
+	for i := 0; i < walkers; i++ {
+		for tick, want := range serialPos[i] {
+			if parallelPos[i][tick] != want {
+				t.Fatalf("walker %d t=%d: parallel %v != serial %v",
+					i, tick, parallelPos[i][tick], want)
+			}
+		}
+	}
+}

@@ -35,7 +35,15 @@ func (q *pq) Pop() any {
 }
 
 // shortestTree returns the (possibly cached) shortest-path tree from src.
+// Safe for concurrent use: the cache lock is held across lookup, build and
+// store, so concurrent queries for the same source compute the tree once
+// and every caller observes the same (immutable) tree. Holding the lock
+// through the Dijkstra build serializes tree construction, which is fine:
+// cache misses are rare at steady state (sources repeat), and correctness
+// under the parallel scan matters more than first-touch latency.
 func (g *Graph) shortestTree(src int) *ssspTree {
+	g.ssspMu.Lock()
+	defer g.ssspMu.Unlock()
 	if t, ok := g.sssp[src]; ok {
 		return t
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"vdtn/internal/geo"
 	"vdtn/internal/xrand"
@@ -38,7 +39,16 @@ type Graph struct {
 	keys map[[2]int64]int // snapped coordinate -> vertex id
 	m    int              // number of undirected edges
 
-	sssp map[int]*ssspTree // shortest-path cache, one tree per queried source
+	// Shortest-path cache, one tree per queried source. Guarded by ssspMu:
+	// a graph is assembled single-threaded, but the parallel proximity scan
+	// (sim.Config.ScanWorkers) queries mobility models — and through them
+	// ShortestPath/Distance — from several goroutines at once. The trees
+	// themselves are immutable after construction and safe to read without
+	// the lock; only the cache map needs guarding. Tree contents are a pure
+	// function of the graph, so which goroutine populates an entry never
+	// affects results.
+	ssspMu sync.Mutex
+	sssp   map[int]*ssspTree
 }
 
 // New returns an empty graph.
@@ -87,7 +97,11 @@ func (g *Graph) AddEdge(a, b int) {
 	g.invalidate()
 }
 
-func (g *Graph) invalidate() { g.sssp = nil }
+func (g *Graph) invalidate() {
+	g.ssspMu.Lock()
+	g.sssp = nil
+	g.ssspMu.Unlock()
+}
 
 // VertexCount returns the number of intersections.
 func (g *Graph) VertexCount() int { return len(g.pts) }

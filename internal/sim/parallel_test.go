@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vdtn/internal/trace"
+)
+
+// traceBytes renders an event trace to one canonical byte stream, so the
+// parallel determinism contract is checked at the strength it is stated:
+// identical trace BYTES, not just equal aggregates.
+func traceBytes(events []trace.Event) []byte {
+	var buf bytes.Buffer
+	for _, ev := range events {
+		fmt.Fprintf(&buf, "%+v\n", ev)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelScanEquivalenceMatrix is the simulator-level half of the
+// parallel determinism contract: for every protocol × policy pair (the
+// same 42 suites TestReplayEquivalence pins) and every worker count in
+// {1, 2, 3, 8}, a live run's full Result and full event trace are
+// byte-identical to the serial run's. Worker count is a pure throughput
+// knob — it must never appear in results, traces, or any determinism key.
+func TestParallelScanEquivalenceMatrix(t *testing.T) {
+	protocols := []ProtocolKind{
+		ProtoEpidemic, ProtoSprayAndWait, ProtoSprayAndWaitVanilla,
+		ProtoMaxProp, ProtoPRoPHET, ProtoDirectDelivery, ProtoFirstContact,
+	}
+	policies := []PolicyKind{
+		PolicyFIFOFIFO, PolicyRandomFIFO, PolicyLifetime,
+		PolicySize, PolicyHopMOFO, PolicyFIFOOldestAge,
+	}
+	workerCounts := []int{1, 2, 3, 8}
+	for _, proto := range protocols {
+		for _, pol := range policies {
+			t.Run(proto.String()+"/"+pol.String(), func(t *testing.T) {
+				base := replayConfig(7)
+				base.Protocol = proto
+				base.Policy = pol
+
+				serialRes, serialEvents := runTraced(t, base)
+				serialBytes := traceBytes(serialEvents)
+
+				for _, workers := range workerCounts {
+					cfg := base
+					cfg.ScanWorkers = workers
+					res, events := runTraced(t, cfg)
+					if res != serialRes {
+						t.Fatalf("ScanWorkers=%d perturbed the Result:\nserial:   %+v\nparallel: %+v",
+							workers, serialRes, res)
+					}
+					if !bytes.Equal(traceBytes(events), serialBytes) {
+						if !reflect.DeepEqual(events, serialEvents) {
+							for i := range serialEvents {
+								if i >= len(events) || serialEvents[i] != events[i] {
+									t.Fatalf("ScanWorkers=%d: event %d diverged: serial %+v, parallel %+v",
+										workers, i, serialEvents[i], eventAt(events, i))
+								}
+							}
+						}
+						t.Fatalf("ScanWorkers=%d: trace bytes diverged", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelScanRecordEquivalence extends the contract to the
+// contacts-only recording pass (the sweep cache's recorder, which builds
+// its own medium): recordings taken with parallel scans are identical to
+// serial ones, transition for transition.
+func TestParallelScanRecordEquivalence(t *testing.T) {
+	base := replayConfig(11)
+	serial, err := RecordContacts(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Transitions) == 0 {
+		t.Fatal("serial recording is empty")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		cfg := base
+		cfg.ScanWorkers = workers
+		rec, err := RecordContacts(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rec, serial) {
+			t.Fatalf("ScanWorkers=%d recording diverged from serial (%d vs %d transitions)",
+				workers, len(rec.Transitions), len(serial.Transitions))
+		}
+	}
+}

@@ -69,11 +69,13 @@ type scanState struct {
 
 	grid gridState
 
-	movers     []int32     // entity indexes re-queried this tick
-	carry      []pairEntry // static-static pairs carried from prev (sorted)
-	mov        []pairEntry // mover-involved pairs found this tick
-	curr, prev []pairEntry // in-range pairs this and last tick, ascending
-	downs, ups []pairKey   // per-tick transition staging
+	movers     []int32       // entity indexes re-queried this tick
+	newCell    []cellKey     // phase-1 staging: observed grid cell, by entity index
+	carry      []pairEntry   // static-static pairs carried from prev (sorted)
+	wpairs     [][]pairEntry // per-worker mover-pair shards, each sorted (serial: shard 0)
+	mergeSrc   [][]pairEntry // k-way merge head scratch
+	curr, prev []pairEntry   // in-range pairs this and last tick, ascending
+	downs, ups []pairKey     // per-tick transition staging
 }
 
 // gridState is the spatial hash: buckets of entity indexes keyed by grid
@@ -271,6 +273,11 @@ func comparePairEntries(a, b pairEntry) int {
 func (m *Medium) growScanState() {
 	sc := &m.sc
 	sc.grid.init(len(m.entities))
+	if sc.wpairs == nil {
+		// One pair shard per worker; the serial path uses shard 0 only.
+		sc.wpairs = make([][]pairEntry, max(1, m.cfg.ScanWorkers))
+		sc.mergeSrc = make([][]pairEntry, 0, len(sc.wpairs)+1)
+	}
 	for i := len(sc.pos); i < len(m.entities); i++ {
 		e := m.entities[i]
 		h, _ := e.(StaticUntiler)
@@ -281,6 +288,7 @@ func (m *Medium) growScanState() {
 		sc.staticTil = append(sc.staticTil, math.Inf(-1))
 		sc.cell = append(sc.cell, cellKey{})
 		sc.isMover = append(sc.isMover, false)
+		sc.newCell = append(sc.newCell, cellKey{})
 	}
 }
 
@@ -292,6 +300,110 @@ func (m *Medium) moveBucket(i int32, from, to cellKey) {
 	m.sc.grid.add(i, to)
 }
 
+// evalPositions refreshes the cached position, static-until hint and
+// observed grid cell for the given movers. Every write lands at the
+// mover's own entity index, and a mover's mobility model and RNG stream
+// are private to it, so disjoint mover slices can be evaluated from
+// different goroutines concurrently (phase 1 of the parallel scan). The
+// grid itself is NOT touched here: bucket surgery is serial, applied by
+// scan after all positions are known.
+func (m *Medium) evalPositions(now float64, movers []int32) {
+	sc := &m.sc
+	cell := m.cfg.Range
+	for _, i := range movers {
+		e := m.entities[i]
+		p := e.Position(now)
+		til := now
+		if h := sc.hint[i]; h != nil {
+			til = h.StaticUntil(now)
+		}
+		sc.pos[i] = p
+		sc.staticTil[i] = til
+		sc.newCell[i] = cellKey{int64(math.Floor(p.X / cell)), int64(math.Floor(p.Y / cell))}
+	}
+}
+
+// findPairs appends every in-range pair involving one of the given movers
+// to buf, via the mover's 3x3 cell neighbourhood. Mover-mover pairs are
+// enumerated from both ends; the smaller-index end claims the pair, so the
+// union over any partition of the movers holds each pair exactly once —
+// that disjointness is what lets phase 2 shard movers across workers and
+// still merge shards without cross-shard duplicates. Read-only on all
+// shared state (grid, positions, mover flags), so disjoint mover slices
+// can run concurrently.
+func (m *Medium) findPairs(movers []int32, buf []pairEntry) []pairEntry {
+	sc := &m.sc
+	r2 := m.cfg.Range * m.cfg.Range
+	for _, i := range movers {
+		base := sc.cell[i]
+		pi := sc.pos[i]
+		idi := sc.ids[i]
+		for dx := int64(-1); dx <= 1; dx++ {
+			for dy := int64(-1); dy <= 1; dy++ {
+				for _, j := range sc.grid.bucket(cellKey{base.x + dx, base.y + dy}) {
+					// Mover-mover pairs are enumerated from both ends;
+					// count them once, at the smaller index.
+					if j == i || (sc.isMover[j] && j < i) {
+						continue
+					}
+					if pi.Dist2(sc.pos[j]) <= r2 {
+						buf = append(buf, pairEntry{ku: packPair(key(idi, sc.ids[j])), a: i, b: j})
+					}
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// mergeShards k-way merges the sorted carry slice and the first nw sorted
+// per-worker pair shards into sc.curr, ascending by packed pair key. The
+// inputs are mutually disjoint (carry holds only non-mover pairs; the
+// shards partition the mover pairs by claiming index), so the merged
+// sequence — and therefore everything downstream of it — is a pure
+// function of the pair SET, independent of how pairs were distributed
+// over shards. That is the determinism argument for the parallel scan:
+// worker count and goroutine scheduling change only the shard layout,
+// never the merged output. A defensive dedup skips equal keys anyway, so
+// even a (bug-introduced) duplicate could not double-fire a transition.
+// The head scratch holds subslices of persistent buffers; steady-state
+// merges allocate nothing.
+func (m *Medium) mergeShards(nw int) {
+	sc := &m.sc
+	srcs := sc.mergeSrc[:0]
+	if len(sc.carry) > 0 {
+		srcs = append(srcs, sc.carry)
+	}
+	for w := 0; w < nw; w++ {
+		if len(sc.wpairs[w]) > 0 {
+			srcs = append(srcs, sc.wpairs[w])
+		}
+	}
+	sc.mergeSrc = srcs[:0] // keep any growth for next tick
+	sc.curr = sc.curr[:0]
+	for {
+		best := -1
+		var bku uint64
+		for s, head := range srcs {
+			if len(head) == 0 {
+				continue
+			}
+			if best < 0 || head[0].ku < bku {
+				best, bku = s, head[0].ku
+			}
+		}
+		if best < 0 {
+			return
+		}
+		pe := srcs[best][0]
+		srcs[best] = srcs[best][1:]
+		if n := len(sc.curr); n > 0 && sc.curr[n-1].ku == pe.ku {
+			continue // defensive: inputs are disjoint by construction
+		}
+		sc.curr = append(sc.curr, pe)
+	}
+}
+
 // scan recomputes the proximity graph and fires contact transitions.
 //
 // The scan is incremental: entities whose StaticUntil hint covers this
@@ -301,44 +413,65 @@ func (m *Medium) moveBucket(i int32, from, to cellKey) {
 // changed) plus every in-range pair involving at least one mover, found
 // through the mover's 3x3 cell neighbourhood. The carried pairs are
 // already sorted (a subsequence of the previous sorted set), so only the
-// mover pairs are sorted before a two-way merge rebuilds the full set.
+// mover pairs are sorted before a k-way merge rebuilds the full set.
 // Diffing it against the previous tick's yields the transitions; downs
 // fire first (freeing the endpoints' radios before new-contact handlers
 // try to start transfers on this same tick), then ups, each ascending by
 // pair — the exact firing order of the original full-rescan
 // implementation, so runs are byte-identical.
+//
+// With Config.ScanWorkers >= 2 the two independent per-mover stages run on
+// a worker pool: phase 1 evaluates mover positions in parallel (writes go
+// to per-entity slots; each entity's model and RNG stream are private),
+// and phase 2 shards pair discovery over the then-read-only grid into
+// per-worker sorted buffers. Everything between and after the phases —
+// grid surgery, carry, merge, diff, transition firing — stays on the
+// event-loop goroutine. The serial path is the same pipeline with one
+// inline "worker", so both paths produce identical transition sequences
+// by construction.
 func (m *Medium) scan(now float64) {
 	sc := &m.sc
 	if len(sc.pos) < len(m.entities) {
 		m.growScanState()
 	}
-	cell := m.cfg.Range
 
-	// Refresh movers: positions, hints, grid cells.
+	// Identify this tick's movers: entities whose cached position is not
+	// covered by a static-until hint.
 	sc.movers = sc.movers[:0]
-	for i, e := range m.entities {
+	for i := range m.entities {
 		if sc.seen[i] && sc.staticTil[i] > now {
 			continue
 		}
-		p := e.Position(now)
-		til := now
-		if h := sc.hint[i]; h != nil {
-			til = h.StaticUntil(now)
-		}
-		sc.pos[i] = p
-		sc.staticTil[i] = til
-		ck := cellKey{int64(math.Floor(p.X / cell)), int64(math.Floor(p.Y / cell))}
+		sc.movers = append(sc.movers, int32(i))
+	}
+
+	// Phase 1: observe mover positions, hints and target cells. A tick
+	// with no movers skips the pool dispatch entirely.
+	var pool *scanPool
+	if len(sc.movers) > 0 {
+		pool = m.scanPoolReady()
+	}
+	if pool != nil {
+		pool.run(phasePositions, now)
+	} else {
+		m.evalPositions(now, sc.movers)
+	}
+
+	// Apply the observed cells to the grid, in entity order (bucket order
+	// is not semantic, but keeping surgery serial keeps the grid simple
+	// and race-free).
+	for _, i := range sc.movers {
+		ck := sc.newCell[i]
 		switch {
 		case !sc.seen[i]:
 			sc.seen[i] = true
 			sc.cell[i] = ck
-			sc.grid.add(int32(i), ck)
+			sc.grid.add(i, ck)
 		case ck != sc.cell[i]:
-			m.moveBucket(int32(i), sc.cell[i], ck)
+			m.moveBucket(i, sc.cell[i], ck)
 			sc.cell[i] = ck
 		}
 		sc.isMover[i] = true
-		sc.movers = append(sc.movers, int32(i))
 	}
 
 	// Densify the grid once the occupied bounding box is known to be
@@ -363,46 +496,18 @@ func (m *Medium) scan(now float64) {
 		}
 	}
 
-	// Find every in-range pair involving a mover through the grid.
-	sc.mov = sc.mov[:0]
-	r2 := m.cfg.Range * m.cfg.Range
-	for _, i := range sc.movers {
-		base := sc.cell[i]
-		pi := sc.pos[i]
-		idi := sc.ids[i]
-		for dx := int64(-1); dx <= 1; dx++ {
-			for dy := int64(-1); dy <= 1; dy++ {
-				for _, j := range sc.grid.bucket(cellKey{base.x + dx, base.y + dy}) {
-					// Mover-mover pairs are enumerated from both ends;
-					// count them once, at the smaller index.
-					if j == i || (sc.isMover[j] && j < i) {
-						continue
-					}
-					if pi.Dist2(sc.pos[j]) <= r2 {
-						sc.mov = append(sc.mov,
-							pairEntry{ku: packPair(key(idi, sc.ids[j])), a: i, b: j})
-					}
-				}
-			}
-		}
+	// Phase 2: find every in-range pair involving a mover through the
+	// (now read-only) grid, then merge the sorted shards with the carry.
+	nShards := 1
+	if pool != nil {
+		pool.run(phasePairs, now)
+		nShards = pool.workers
+	} else {
+		buf := m.findPairs(sc.movers, sc.wpairs[0][:0])
+		slices.SortFunc(buf, comparePairEntries)
+		sc.wpairs[0] = buf
 	}
-	slices.SortFunc(sc.mov, comparePairEntries)
-
-	// Merge the two sorted halves (disjoint: carried pairs have no mover
-	// endpoint, mover pairs have at least one) into the current set.
-	sc.curr = sc.curr[:0]
-	ci, mi := 0, 0
-	for ci < len(sc.carry) && mi < len(sc.mov) {
-		if sc.carry[ci].ku < sc.mov[mi].ku {
-			sc.curr = append(sc.curr, sc.carry[ci])
-			ci++
-		} else {
-			sc.curr = append(sc.curr, sc.mov[mi])
-			mi++
-		}
-	}
-	sc.curr = append(sc.curr, sc.carry[ci:]...)
-	sc.curr = append(sc.curr, sc.mov[mi:]...)
+	m.mergeShards(nShards)
 
 	// Diff against the previous tick: both slices are ascending, so one
 	// merge walk splits the symmetric difference into downs and ups.

@@ -50,12 +50,11 @@ func (d *drifter) Position(now float64) geo.Point {
 	return geo.Point{X: d.home.X + d.amp*(2*t-1), Y: d.home.Y}
 }
 
-// benchMedium builds a medium over n entities at roughly constant contact
-// density (mean degree ~6), benchMoverFrac of them moving.
-func benchMedium(n int) (*event.Scheduler, *Medium) {
-	s := event.NewScheduler()
-	m := NewMedium(s, testCfg())
-	m.SetHandler(&recorder{})
+// seedFleet populates m with the benchmark fleet: n entities at roughly
+// constant contact density (mean degree ~6), benchMoverFrac of them
+// moving. Deterministic in n, so media built with different configs host
+// identical fleets.
+func seedFleet(m *Medium, n int) {
 	rng := xrand.New(uint64(n))
 	side := math.Sqrt(float64(n) / 0.0025) // ~7 neighbours in a 30 m disk
 	for i := 0; i < n; i++ {
@@ -66,6 +65,14 @@ func benchMedium(n int) (*event.Scheduler, *Medium) {
 			m.Add(&parked{id: i, at: p})
 		}
 	}
+}
+
+// benchMedium builds a serial-scan medium over the benchmark fleet.
+func benchMedium(n int) (*event.Scheduler, *Medium) {
+	s := event.NewScheduler()
+	m := NewMedium(s, testCfg())
+	m.SetHandler(&recorder{})
+	seedFleet(m, n)
 	return s, m
 }
 

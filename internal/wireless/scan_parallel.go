@@ -1,0 +1,138 @@
+package wireless
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel scan's two fan-out stages. Everything else in a tick is
+// serial on the event-loop goroutine.
+const (
+	phasePositions = iota // evaluate mover positions into per-entity slots
+	phasePairs            // discover mover pairs into per-worker shards
+)
+
+// scanPool is the persistent worker pool behind Config.ScanWorkers. It is
+// built lazily on the first scan tick that has movers, and lives until
+// Medium.Stop. The event-loop goroutine is worker 0; workers 1..N-1 are
+// goroutines parked on their start channels between phases.
+//
+// The pool is invisible in the trace: work is split by an atomic block
+// cursor, so WHICH worker evaluates a mover or discovers a pair varies
+// run to run — but phase 1 writes land in per-entity slots and phase 2
+// shards are merged as sets (mergeShards), so the transition sequence is
+// a pure function of simulation state. Both phases are full barriers
+// (run returns only after every worker finishes), so no scan state is
+// ever touched concurrently with the serial sections.
+//
+// Determinism audit (vdtnlint detgo) — why this concurrency is safe:
+// workers never emit trace events, never touch the scheduler, RNG streams
+// or contact state; they only read shared scan state and write disjoint
+// slots/shards between two barriers.
+type scanPool struct {
+	m       *Medium
+	workers int
+	start   []chan struct{} // one per spawned worker (1..workers-1)
+	wg      sync.WaitGroup
+
+	// Per-dispatch parameters, written by run before the workers are
+	// released and read-only while they run.
+	phase int
+	now   float64
+	block int64
+
+	cursor atomic.Int64 // next mover index to claim, in blocks
+}
+
+// scanPoolReady returns the medium's worker pool, building it on first
+// use, or nil when the configuration is serial (ScanWorkers <= 1).
+func (m *Medium) scanPoolReady() *scanPool {
+	if m.pool == nil && m.cfg.ScanWorkers >= 2 {
+		m.pool = newScanPool(m, m.cfg.ScanWorkers)
+	}
+	return m.pool
+}
+
+func newScanPool(m *Medium, workers int) *scanPool {
+	p := &scanPool{m: m, workers: workers}
+	p.start = make([]chan struct{}, workers-1)
+	for w := range p.start {
+		p.start[w] = make(chan struct{}, 1)
+		//vdtnlint:detgo scan worker: barriered fan-out, no trace emission (see scanPool doc)
+		go p.worker(w + 1)
+	}
+	return p
+}
+
+// run dispatches one phase over the current mover set and blocks until
+// every worker has drained the cursor. Steady-state cost is channel
+// send/receive pairs and atomics only — no allocations.
+func (p *scanPool) run(phase int, now float64) {
+	movers := int64(len(p.m.sc.movers))
+	p.phase, p.now = phase, now
+	// Block size balances claim contention against load balance: small
+	// enough that lumpy per-mover costs (a waypoint departure runs
+	// Dijkstra) spread across workers, and that few-mover scenarios
+	// still exercise real sharding; atomics stay negligible either way.
+	p.block = max(1, movers/int64(p.workers*8))
+	p.cursor.Store(0)
+	//vdtnlint:detgo phase barrier: every worker finishes before serial scan code resumes
+	p.wg.Add(len(p.start))
+	for _, c := range p.start {
+		c <- struct{}{}
+	}
+	p.work(0) // the event-loop goroutine is worker 0
+	//vdtnlint:detgo phase barrier: every worker finishes before serial scan code resumes
+	p.wg.Wait()
+}
+
+// worker parks between dispatches; close(start) from Medium.Stop ends it.
+func (p *scanPool) worker(w int) {
+	for range p.start[w-1] {
+		p.work(w)
+		//vdtnlint:detgo phase barrier: signals this worker's share of the dispatch is done
+		p.wg.Done()
+	}
+}
+
+// work claims mover blocks off the shared cursor until none remain,
+// running the current phase over each. Phase-2 pair output accumulates in
+// a worker-local slice header over the worker's persistent shard backing
+// array, stored back (and sorted) once — so worker counts beyond the
+// mover count degrade gracefully to empty shards, and steady-state ticks
+// allocate nothing once the shards have grown to their working size.
+func (p *scanPool) work(w int) {
+	m := p.m
+	sc := &m.sc
+	n := int64(len(sc.movers))
+	switch p.phase {
+	case phasePositions:
+		for {
+			lo := p.cursor.Add(p.block) - p.block
+			if lo >= n {
+				return
+			}
+			m.evalPositions(p.now, sc.movers[lo:min(lo+p.block, n)])
+		}
+	case phasePairs:
+		buf := sc.wpairs[w][:0]
+		for {
+			lo := p.cursor.Add(p.block) - p.block
+			if lo >= n {
+				break
+			}
+			buf = m.findPairs(sc.movers[lo:min(lo+p.block, n)], buf)
+		}
+		slices.SortFunc(buf, comparePairEntries)
+		sc.wpairs[w] = buf
+	}
+}
+
+// close releases the worker goroutines. Safe to call once; the pool must
+// not be dispatched to afterwards.
+func (p *scanPool) close() {
+	for _, c := range p.start {
+		close(c)
+	}
+}
