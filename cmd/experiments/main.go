@@ -32,8 +32,10 @@
 // multi-axis grid sweeps ("axes") and spec-level "seeds"/"scale"
 // defaults; explicit -seeds/-scale flags override them. -metric renders
 // the table under a different metric than the experiment declares.
-// -progress reports every cell start/finish (with timing) and every
-// contact-trace recording pass on stderr.
+// -progress renders a live single-line cell counter on stderr — done/total
+// with elapsed time, an ETA extrapolated from the cells simulated so far,
+// and recording-pass/failure counters; with -resume, reused cells show as
+// already done and are excluded from the ETA estimate.
 //
 // Interrupting a run (SIGINT/SIGTERM) cancels it cooperatively: in-flight
 // cells stop at their next event-loop checkpoint, every artifact the
@@ -102,52 +104,6 @@ func fail(format string, args ...any) int {
 	return 1
 }
 
-// progress prints runner lifecycle events on stderr (-progress).
-type progress struct {
-	vdtn.ExperimentBaseObserver
-}
-
-// cellLabel renders a cell's coordinates for progress lines.
-func cellLabel(c vdtn.ExperimentCellID) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s x=%g", c.Series, c.X)
-	for _, g := range c.Grid {
-		fmt.Fprintf(&sb, " %s=%g", g.Axis, g.Value)
-	}
-	fmt.Fprintf(&sb, " seed=%d", c.Seed)
-	return sb.String()
-}
-
-func (progress) SweepStarted(exp vdtn.Experiment, opt vdtn.ExperimentOptions, cells int) {
-	fmt.Fprintf(os.Stderr, "%s: %d cells over %d workers\n", exp.ID, cells, opt.Workers)
-}
-
-func (progress) CellFinished(c vdtn.ExperimentCellID, elapsed time.Duration, err error) {
-	status := ""
-	if err != nil {
-		status = " FAILED: " + err.Error()
-	}
-	fmt.Fprintf(os.Stderr, "  [%d/%d] %s %v%s\n",
-		c.Index+1, c.Total, cellLabel(c), elapsed.Round(time.Millisecond), status)
-}
-
-func (progress) CacheEvent(ev vdtn.ExperimentCacheEvent) {
-	// Memory hits are the overwhelmingly common, information-free case.
-	if ev.Kind == vdtn.ExperimentCacheHit {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "  contact cache %v %s %v\n",
-		ev.Kind, ev.Fingerprint, ev.Elapsed.Round(time.Millisecond))
-}
-
-func (progress) SweepFinished(exp vdtn.Experiment, elapsed time.Duration, err error) {
-	status := "done"
-	if err != nil {
-		status = err.Error()
-	}
-	fmt.Fprintf(os.Stderr, "%s: %s in %v\n", exp.ID, status, elapsed.Round(time.Millisecond))
-}
-
 func main() { os.Exit(run()) }
 
 func run() int {
@@ -162,7 +118,7 @@ func run() int {
 		outDir   = flag.String("out", "", "directory for CSV + JSON results output (optional)")
 		outJSONL = flag.String("out-jsonl", "", "directory for streaming JSONL results (one <id>.jsonl per experiment, written cell by cell)")
 		metric   = flag.String("metric", "", "render tables under this metric instead of each experiment's default (see -list-metrics)")
-		progFlag = flag.Bool("progress", false, "report cell starts/finishes and contact-trace recording passes on stderr")
+		progFlag = flag.Bool("progress", false, "render a live single-line cell counter with elapsed/ETA on stderr")
 		list     = flag.Bool("list", false, "list experiment ids (built-ins and loaded specs) and exit")
 		listM    = flag.Bool("list-metrics", false, "list metric and axis names and exit")
 		dump     = flag.String("dump-spec", "", "print the named experiment as a JSON sweep spec and exit")
@@ -349,14 +305,9 @@ func run() int {
 		}
 	}
 
-	var observer vdtn.ExperimentObserver
-	if *progFlag {
-		observer = progress{}
-	}
-
 	interrupted := false
 	for _, e := range todo {
-		code, cancelled := runOne(ctx, e, opt, observer, *metric, *outDir, *outJSONL, *resume)
+		code, cancelled := runOne(ctx, e, opt, *progFlag, *metric, *outDir, *outJSONL, *resume)
 		if code != 0 && !cancelled {
 			return code
 		}
@@ -412,7 +363,8 @@ func openResume(path string, e vdtn.Experiment, opt vdtn.ExperimentOptions) (*vd
 		f.Close()
 		return nil, nil, err
 	}
-	fmt.Fprintf(os.Stderr, "experiments: resuming %s from %d completed cells\n", path, len(prefix.Cells))
+	fmt.Fprintf(os.Stderr, "experiments: resuming %s: reusing %d completed cells, appending at byte offset %d\n",
+		path, len(prefix.Cells), prefix.Offset)
 	return prefix, f, nil
 }
 
@@ -421,7 +373,7 @@ func openResume(path string, e vdtn.Experiment, opt vdtn.ExperimentOptions) (*vd
 // table and flushes partial artifacts (marked incomplete), reporting
 // cancelled=true so the caller stops the remaining experiments and exits
 // non-zero.
-func runOne(ctx context.Context, e vdtn.Experiment, opt vdtn.ExperimentOptions, observer vdtn.ExperimentObserver, metric, outDir, outJSONL string, resume bool) (code int, cancelled bool) {
+func runOne(ctx context.Context, e vdtn.Experiment, opt vdtn.ExperimentOptions, progFlag bool, metric, outDir, outJSONL string, resume bool) (code int, cancelled bool) {
 	var mem vdtn.ExperimentMemorySink
 	sinks := []vdtn.ExperimentSink{&mem}
 	var resumeFrom *vdtn.ExperimentSweepPrefix
@@ -450,6 +402,17 @@ func runOne(ctx context.Context, e vdtn.Experiment, opt vdtn.ExperimentOptions, 
 			}
 		}()
 		sinks = append(sinks, vdtn.NewExperimentJSONLSinkResume(f, resumeFrom))
+	}
+
+	// The live counter is created per sweep so a resumed run's ETA only
+	// extrapolates from the cells this run actually simulates.
+	var observer vdtn.ExperimentObserver
+	if progFlag {
+		resumed := 0
+		if resumeFrom != nil {
+			resumed = len(resumeFrom.Cells)
+		}
+		observer = &vdtn.ExperimentProgressObserver{Resumed: resumed}
 	}
 
 	start := time.Now()

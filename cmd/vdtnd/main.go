@@ -1,0 +1,136 @@
+// Command vdtnd is the sweep-as-a-service daemon: it runs experiment
+// sweeps as durable, observable, cancellable jobs behind an HTTP/JSON
+// API, surviving restarts — and kill -9 — with byte-identical results.
+//
+// Daemon usage:
+//
+//	vdtnd -data-dir /var/lib/vdtnd &
+//	curl -d @examples/sweeps/grid.json localhost:8480/v1/jobs
+//	curl localhost:8480/v1/jobs/j000001
+//	curl -N localhost:8480/v1/jobs/j000001/events
+//	curl localhost:8480/v1/jobs/j000001/results
+//	curl -X DELETE localhost:8480/v1/jobs/j000001
+//
+// Jobs persist under -data-dir (spec, meta, results stream); on restart
+// every unfinished job is re-admitted and resumed from the complete-cell
+// prefix of its results stream, so the finished artifact is identical no
+// matter how many times the process died. See docs/SERVICE.md for the
+// API reference and resume semantics.
+//
+// The same binary doubles as the client: invoked as "vdtnctl" (or
+// "vdtnd ctl ..."), it speaks the API from the command line —
+//
+//	vdtnctl submit -spec grid.json -seeds 4
+//	vdtnctl list
+//	vdtnctl status j000001
+//	vdtnctl events j000001
+//	vdtnctl wait j000001
+//	vdtnctl results j000001 > results.jsonl
+//	vdtnctl cancel j000001
+//
+// -addr picks the daemon's listen address (client side: the daemon to
+// talk to). -addr-file, on the daemon, writes the actually bound address
+// to a file — with -addr 127.0.0.1:0 that is how scripts and tests learn
+// the ephemeral port.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"vdtn/internal/service"
+)
+
+func main() { os.Exit(run(os.Args)) }
+
+// run dispatches between daemon and client mode: the binary acts as the
+// client when named vdtnctl (a hardlink/copy) or when the first argument
+// is "ctl".
+func run(args []string) int {
+	if filepath.Base(args[0]) == "vdtnctl" {
+		return runCtl(args[1:])
+	}
+	if len(args) > 1 && args[1] == "ctl" {
+		return runCtl(args[2:])
+	}
+	return runDaemon(args[1:])
+}
+
+func runDaemon(args []string) int {
+	fs := flag.NewFlagSet("vdtnd", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8480", "listen address (host:port; port 0 picks an ephemeral port)")
+		dataDir  = fs.String("data-dir", "", "durable job store directory (required)")
+		addrFile = fs.String("addr-file", "", "write the bound listen address to this file once serving (how scripts learn an ephemeral port)")
+		progress = fs.Bool("progress", false, "echo each running sweep as a live cell counter on stderr")
+	)
+	fs.Parse(args)
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "vdtnd: -data-dir is required (the job store must survive restarts)")
+		return 2
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	cfg := service.Config{DataDir: *dataDir, Logf: logf}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+	mgr, err := service.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vdtnd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		mgr.Close()
+		fmt.Fprintf(os.Stderr, "vdtnd: %v\n", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			mgr.Close()
+			fmt.Fprintf(os.Stderr, "vdtnd: %v\n", err)
+			return 1
+		}
+	}
+	logf("vdtnd: serving on %s, data dir %s", ln.Addr(), *dataDir)
+
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	errCh := make(chan error, 1)
+	// The HTTP accept loop; it ends via srv.Shutdown below, and the
+	// Serve error (http.ErrServerClosed on a clean shutdown) joins the
+	// main goroutine through errCh.
+	go func() { errCh <- srv.Serve(ln) }() //vdtnlint:detgo accept loop joined via errCh; Shutdown bounds its lifetime
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	var serveErr error
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, then stop the scheduler —
+		// the running job stays "running" on disk and resumes on the
+		// next start.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(shutdownCtx)
+		cancel()
+		<-errCh
+	case serveErr = <-errCh:
+	}
+	mgr.Close()
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "vdtnd: %v\n", serveErr)
+		return 1
+	}
+	logf("vdtnd: stopped")
+	return 0
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// ProgressObserver is an Observer rendering a running sweep as one live,
+// continuously rewritten line on W:
+//
+//	fig5: 12/48 cells (25%) elapsed 1.2s eta 3.6s
+//
+// The line is redrawn in place (carriage return, no newline) on every
+// finished cell, so a terminal shows a single counter instead of one line
+// per cell; SweepFinished terminates it with a newline and the outcome.
+// The ETA extrapolates the mean cost of the cells this run actually
+// simulated over the remaining ones — resumed cells (see Resumed) count
+// as complete but contribute nothing to the estimate, so a restarted
+// sweep's ETA is not skewed by the cells it skipped. Contact-trace
+// recording passes are folded into the line as a counter ("rec n")
+// instead of one line each; cell failures break the line and print on a
+// line of their own, since they carry the coordinates an operator needs.
+//
+// The runner serializes observer delivery, so ProgressObserver keeps no
+// locks. One instance observes one sweep at a time, but may be reused
+// across sequential Runner.Run calls: SweepStarted resets all counters.
+type ProgressObserver struct {
+	// W receives the rendered line; nil defaults to os.Stderr.
+	W io.Writer
+	// Resumed counts cells an earlier interrupted run already completed
+	// (len(SweepPrefix.Cells)): they are shown as already done, and the
+	// ETA is extrapolated only from cells this run simulates itself.
+	Resumed int
+	// Now is the clock behind elapsed/ETA; nil defaults to time.Now.
+	// Injectable so tests render deterministic lines.
+	Now func() time.Time
+
+	label    string
+	start    time.Time
+	total    int
+	done     int
+	failed   int
+	recorded int
+	lastLen  int
+}
+
+func (p *ProgressObserver) w() io.Writer {
+	if p.W != nil {
+		return p.W
+	}
+	return os.Stderr
+}
+
+func (p *ProgressObserver) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+// SweepStarted implements Observer: it resets the counters and draws the
+// initial line.
+func (p *ProgressObserver) SweepStarted(exp Experiment, opt Options, cells int) {
+	p.label = exp.ID
+	p.total = cells
+	p.done = p.Resumed
+	p.failed = 0
+	p.recorded = 0
+	p.lastLen = 0
+	p.start = p.now()
+	p.render()
+}
+
+// CellStarted implements Observer. The line only moves on completions, so
+// starts are not drawn.
+func (p *ProgressObserver) CellStarted(CellID) {}
+
+// CellFinished implements Observer: it advances the counter and redraws.
+// A failed cell's error breaks the live line and prints on its own line —
+// except cancellation, which is the sweep's outcome, not the cell's, and
+// is reported once by SweepFinished.
+func (p *ProgressObserver) CellFinished(c CellID, _ time.Duration, err error) {
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		p.failed++
+		p.breakLine()
+		fmt.Fprintf(p.w(), "%s: cell %d/%d FAILED: %v\n", p.label, c.Index+1, c.Total, err)
+		p.render()
+		return
+	}
+	p.done++
+	p.render()
+}
+
+// CacheEvent implements Observer: executed recording passes are counted
+// into the line; hits are the information-free common case and ignored.
+func (p *ProgressObserver) CacheEvent(ev CacheEvent) {
+	if ev.Kind != CacheRecorded {
+		return
+	}
+	p.recorded++
+	p.render()
+}
+
+// SweepFinished implements Observer: it finalizes the line with the
+// sweep's outcome and a newline.
+func (p *ProgressObserver) SweepFinished(exp Experiment, elapsed time.Duration, err error) {
+	status := "done"
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		status = "interrupted"
+	case err != nil:
+		status = err.Error()
+	}
+	line := fmt.Sprintf("%s: %s — %d/%d cells in %v%s",
+		p.label, status, p.done, p.total, elapsed.Round(time.Millisecond), p.resumedNote())
+	p.draw(line)
+	fmt.Fprintln(p.w())
+	p.lastLen = 0
+}
+
+// render redraws the live counter line in place.
+func (p *ProgressObserver) render() {
+	pct := 0
+	if p.total > 0 {
+		pct = 100 * p.done / p.total
+	}
+	line := fmt.Sprintf("%s: %d/%d cells (%d%%) elapsed %v",
+		p.label, p.done, p.total, pct, p.elapsed().Round(100*time.Millisecond))
+	if eta, ok := p.eta(); ok {
+		line += fmt.Sprintf(" eta %v", eta.Round(100*time.Millisecond))
+	}
+	if p.recorded > 0 {
+		line += fmt.Sprintf(" rec %d", p.recorded)
+	}
+	if p.failed > 0 {
+		line += fmt.Sprintf(" failed %d", p.failed)
+	}
+	line += p.resumedNote()
+	p.draw(line)
+}
+
+func (p *ProgressObserver) resumedNote() string {
+	if p.Resumed > 0 {
+		return fmt.Sprintf(" (%d resumed)", p.Resumed)
+	}
+	return ""
+}
+
+func (p *ProgressObserver) elapsed() time.Duration { return p.now().Sub(p.start) }
+
+// eta extrapolates the mean cost of the cells this run simulated over the
+// remaining ones. Resumed cells were free, so they are excluded from the
+// mean; before the first simulated cell completes there is nothing to
+// extrapolate from.
+func (p *ProgressObserver) eta() (time.Duration, bool) {
+	measured := p.done - p.Resumed
+	remaining := p.total - p.done
+	if measured <= 0 || remaining <= 0 {
+		return 0, false
+	}
+	return time.Duration(int64(p.elapsed()) / int64(measured) * int64(remaining)), true
+}
+
+// draw writes line over the previous one: carriage return, then trailing
+// spaces to erase any leftover of a longer earlier render.
+func (p *ProgressObserver) draw(line string) {
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	fmt.Fprintf(p.w(), "\r%s%s", line, pad)
+	p.lastLen = len(line)
+}
+
+// breakLine moves off the live counter line so a full-width message can
+// print cleanly.
+func (p *ProgressObserver) breakLine() {
+	if p.lastLen > 0 {
+		fmt.Fprintln(p.w())
+		p.lastLen = 0
+	}
+}

@@ -9,9 +9,15 @@
 // scheduler state, and an unjustified `go` statement or WaitGroup-shaped
 // fan-out can leak it into event order while passing `go build` and the
 // sampled golden suites. detgo therefore flags every `go` statement and
-// every sync.WaitGroup method call in a critical package unless the line
+// every sync.WaitGroup method call in an audited package unless the line
 // carries a //vdtnlint:detgo justification, keeping each parallel
 // section individually auditable.
+//
+// The audited set is the determinism-critical packages plus
+// lintcfg.GoAuditPackages — packages like the sweep service whose
+// goroutines never touch a trace but do sit on the path that promises
+// daemon artifacts byte-identical to CLI ones, so their fan-out earns
+// the same per-line justification discipline.
 package detgo
 
 import (
@@ -25,9 +31,9 @@ import (
 // Analyzer is the detgo analyzer.
 var Analyzer = &lint.Analyzer{
 	Name:      "detgo",
-	Doc:       "audit goroutine launches and WaitGroup barriers in determinism-critical packages",
+	Doc:       "audit goroutine launches and WaitGroup barriers in goroutine-audited packages",
 	Directive: "detgo",
-	AppliesTo: lintcfg.IsCritical,
+	AppliesTo: lintcfg.IsGoAudited,
 	Run:       run,
 }
 
@@ -36,7 +42,7 @@ func run(pass *lint.Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "go statement in a determinism-critical package; goroutines may not influence event order — justify with //vdtnlint:detgo (%s)",
+				pass.Reportf(n.Pos(), "go statement in a goroutine-audited package; goroutines may not influence event or artifact order — justify with //vdtnlint:detgo (%s)",
 					lintcfg.DocPath)
 			case *ast.CallExpr:
 				checkWaitGroup(pass, n)
@@ -72,6 +78,6 @@ func checkWaitGroup(pass *lint.Pass, call *ast.CallExpr) {
 	if !ok || named.Obj().Name() != "WaitGroup" {
 		return
 	}
-	pass.Reportf(call.Pos(), "sync.WaitGroup.%s in a determinism-critical package; barrier fan-out must be auditable — justify with //vdtnlint:detgo (%s)",
+	pass.Reportf(call.Pos(), "sync.WaitGroup.%s in a goroutine-audited package; barrier fan-out must be auditable — justify with //vdtnlint:detgo (%s)",
 		fn.Name(), lintcfg.DocPath)
 }

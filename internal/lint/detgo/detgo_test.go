@@ -10,3 +10,10 @@ import (
 func TestDetGo(t *testing.T) {
 	linttest.Run(t, detgo.Analyzer, "vdtn/internal/wireless")
 }
+
+// TestDetGoServiceScope pins the audit-scope extension: internal/service
+// is not determinism-critical, but its goroutine launches are audited
+// all the same (lintcfg.GoAuditPackages).
+func TestDetGoServiceScope(t *testing.T) {
+	linttest.Run(t, detgo.Analyzer, "vdtn/internal/service")
+}

@@ -1,0 +1,23 @@
+// Fixture for the detgo analyzer over the service layer: not
+// determinism-critical (wall clocks are fine here), but in the
+// goroutine-audited set — its fan-out sits on the daemon-equals-CLI
+// artifact path, so every launch needs a justification.
+package fixture
+
+import "sync"
+
+// A scheduler-shaped goroutine without a justification is flagged.
+func unjustifiedScheduler(loop func()) {
+	go loop() // want `go statement in a goroutine-audited package`
+}
+
+// WaitGroup barriers are audited here too.
+func unjustifiedJoin(wg *sync.WaitGroup) {
+	wg.Wait() // want `sync\.WaitGroup\.Wait in a goroutine-audited package`
+}
+
+// The real service goroutines carry the directive; the suppression works
+// the same way it does in critical packages.
+func justifiedScheduler(loop func()) {
+	go loop() //vdtnlint:detgo single scheduler goroutine joined on close; job order is FIFO by queue, not goroutine timing
+}

@@ -6,18 +6,18 @@ import "sync"
 
 // A bare goroutine launch is flagged: interleaving is scheduler state.
 func unjustifiedGo(work func()) {
-	go work() // want `go statement in a determinism-critical package`
+	go work() // want `go statement in a goroutine-audited package`
 }
 
 // Each WaitGroup method call is flagged individually.
 func unjustifiedBarrier(work func()) {
 	var wg sync.WaitGroup
-	wg.Add(1)   // want `sync\.WaitGroup\.Add in a determinism-critical package`
-	go func() { // want `go statement in a determinism-critical package`
-		defer wg.Done() // want `sync\.WaitGroup\.Done in a determinism-critical package`
+	wg.Add(1)   // want `sync\.WaitGroup\.Add in a goroutine-audited package`
+	go func() { // want `go statement in a goroutine-audited package`
+		defer wg.Done() // want `sync\.WaitGroup\.Done in a goroutine-audited package`
 		work()
 	}()
-	wg.Wait() // want `sync\.WaitGroup\.Wait in a determinism-critical package`
+	wg.Wait() // want `sync\.WaitGroup\.Wait in a goroutine-audited package`
 }
 
 // A justified fan-out is suppressed, one directive per audited line.

@@ -35,7 +35,31 @@ var CriticalPackages = []string{
 // IsCritical reports whether path is a determinism-critical package or a
 // subpackage of one.
 func IsCritical(path string) bool {
-	for _, p := range CriticalPackages {
+	return inSet(CriticalPackages, path)
+}
+
+// GoAuditPackages lists packages that are not determinism-critical — they
+// may read wall clocks and the environment — but whose goroutine fan-out
+// must still be individually auditable. The service layer qualifies: its
+// scheduler and event hub sit between HTTP handlers and the Runner, and
+// an unjustified goroutine there is exactly where a "daemon artifact
+// differs from CLI artifact" bug would hide. detgo audits these packages
+// alongside the critical set; the other analyzers (wall clocks, env,
+// map iteration) do not apply.
+var GoAuditPackages = []string{
+	"vdtn/internal/service",
+	"vdtn/cmd/vdtnd",
+}
+
+// IsGoAudited reports whether path's goroutine launches are audited:
+// every determinism-critical package plus the GoAuditPackages set.
+func IsGoAudited(path string) bool {
+	return IsCritical(path) || inSet(GoAuditPackages, path)
+}
+
+// inSet reports whether path is one of pkgs or a subpackage of one.
+func inSet(pkgs []string, path string) bool {
+	for _, p := range pkgs {
 		if path == p || strings.HasPrefix(path, p+"/") {
 			return true
 		}

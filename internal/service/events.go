@@ -1,0 +1,223 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"vdtn/internal/experiments"
+)
+
+// Event is one entry of a job's live event stream — the NDJSON lines
+// GET /v1/jobs/{id}/events serves. Every Runner observer callback maps
+// to one event; the daemon adds job state transitions and, for readers
+// that fell behind, drop notices. Seq numbers are per job and strictly
+// increasing, so a client can detect the gap a drop notice describes.
+type Event struct {
+	// Seq is the event's per-job sequence number, starting at 1.
+	Seq int64 `json:"seq"`
+	// Type is one of "state", "sweep_started", "cell_started",
+	// "cell_finished", "cache", "sweep_finished", "dropped".
+	Type string `json:"type"`
+	// Job is the job ID.
+	Job string `json:"job"`
+	// State accompanies "state" events.
+	State State `json:"state,omitempty"`
+	// Cells is the sweep's total cell count ("sweep_started").
+	Cells int `json:"cells,omitempty"`
+	// Cell carries the cell's coordinates for cell events.
+	Cell *EventCell `json:"cell,omitempty"`
+	// ElapsedMS times cell_finished, cache and sweep_finished events.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// Error carries a failing cell's or sweep's reason.
+	Error string `json:"error,omitempty"`
+	// Cache classifies "cache" events: "hit", "disk-hit", "recorded";
+	// Fingerprint names the trace.
+	Cache       string `json:"cache,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Dropped, on a "dropped" notice, counts the events this subscriber
+	// lost since its previous delivered event (bounded buffer overflow —
+	// the stream resumes with the next live event, Seq showing the gap).
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// EventCell is a cell's coordinates in cell_started / cell_finished
+// events: position plus the (series, grid, x, seed) identity.
+type EventCell struct {
+	Index  int                `json:"index"`
+	Total  int                `json:"total"`
+	Series string             `json:"series"`
+	X      float64            `json:"x"`
+	Grid   map[string]float64 `json:"grid,omitempty"`
+	Seed   uint64             `json:"seed"`
+}
+
+// eventCell converts an observer CellID.
+func eventCell(c experiments.CellID) *EventCell {
+	ec := &EventCell{Index: c.Index, Total: c.Total, Series: c.Series, X: c.X, Seed: c.Seed}
+	if len(c.Grid) > 0 {
+		ec.Grid = make(map[string]float64, len(c.Grid))
+		for _, s := range c.Grid {
+			ec.Grid[s.Axis] = s.Value
+		}
+	}
+	return ec
+}
+
+// subBuffer is each subscriber's bounded channel capacity: enough to
+// ride out flushing hiccups, small enough that an abandoned connection
+// holds a few KB, not a sweep's worth of events.
+const subBuffer = 256
+
+// subscriber is one event-stream reader: a bounded channel the hub
+// publishes into without ever blocking, plus the count of events dropped
+// while the channel was full.
+type subscriber struct {
+	ch      chan Event
+	dropped int
+}
+
+// hub fans one job's events out to its subscribers. Publish never
+// blocks: the sweep's observer callbacks run on the runner's worker
+// goroutines, and a stalled HTTP reader must cost that reader events,
+// never the sweep throughput. A subscriber whose channel is full
+// accumulates a drop count, delivered as a "dropped" notice before its
+// next successful event (one slot is kept in reserve for the notice, so
+// the notice itself cannot be the drop). Closing the hub — the job
+// reaching a terminal state — closes every subscriber channel, ending
+// the HTTP streams.
+type hub struct {
+	job string
+
+	mu     sync.Mutex
+	seq    int64
+	subs   map[*subscriber]struct{}
+	closed bool
+}
+
+func newHub(job string) *hub {
+	return &hub{job: job, subs: make(map[*subscriber]struct{})}
+}
+
+// publish assigns the event its sequence number and offers it to every
+// subscriber, non-blocking.
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	ev.Seq = h.seq
+	ev.Job = h.job
+	for sub := range h.subs {
+		if sub.dropped > 0 {
+			// The reader fell behind earlier. Deliver the drop notice plus
+			// this event only if both fit; otherwise keep counting.
+			if cap(sub.ch)-len(sub.ch) >= 2 {
+				sub.ch <- Event{Seq: ev.Seq, Type: "dropped", Job: h.job, Dropped: sub.dropped}
+				sub.dropped = 0
+				sub.ch <- ev
+			} else {
+				sub.dropped++
+			}
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped++
+		}
+	}
+}
+
+// subscribe attaches a new reader; nil if the hub already closed (the
+// job is terminal — there is nothing left to stream).
+func (h *hub) subscribe() *subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	sub := &subscriber{ch: make(chan Event, subBuffer)}
+	h.subs[sub] = struct{}{}
+	return sub
+}
+
+// unsubscribe detaches a reader (its HTTP request ended); the channel is
+// closed so a racing publish-side send cannot strand the reader.
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; !ok {
+		return
+	}
+	delete(h.subs, sub)
+	close(sub.ch)
+}
+
+// close ends the stream for every subscriber.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// Observer adapts a job's hub into an experiments.Observer: each
+// serialized Runner callback becomes one published event, and cell
+// completions additionally update the job's live progress counter. The
+// runner guarantees callbacks are never concurrent, so the progress
+// callback needs no ordering of its own; the hub handles fan-out
+// concurrency.
+type observerAdapter struct {
+	hub *hub
+	// progress, when non-nil, receives each completed-cell count.
+	progress func(done int)
+	done     int
+}
+
+func (o *observerAdapter) SweepStarted(exp experiments.Experiment, opt experiments.Options, cells int) {
+	o.hub.publish(Event{Type: "sweep_started", Cells: cells})
+}
+
+func (o *observerAdapter) CellStarted(c experiments.CellID) {
+	o.hub.publish(Event{Type: "cell_started", Cell: eventCell(c)})
+}
+
+func (o *observerAdapter) CellFinished(c experiments.CellID, elapsed time.Duration, err error) {
+	ev := Event{Type: "cell_finished", Cell: eventCell(c), ElapsedMS: elapsed.Milliseconds()}
+	if err != nil {
+		ev.Error = err.Error()
+	} else {
+		o.done++
+		if o.progress != nil {
+			o.progress(o.done)
+		}
+	}
+	o.hub.publish(ev)
+}
+
+func (o *observerAdapter) CacheEvent(ev experiments.CacheEvent) {
+	kind := "hit"
+	switch ev.Kind {
+	case experiments.CacheHitDisk:
+		kind = "disk-hit"
+	case experiments.CacheRecorded:
+		kind = "recorded"
+	}
+	o.hub.publish(Event{Type: "cache", Cache: kind, Fingerprint: ev.Fingerprint, ElapsedMS: ev.Elapsed.Milliseconds()})
+}
+
+func (o *observerAdapter) SweepFinished(exp experiments.Experiment, elapsed time.Duration, err error) {
+	ev := Event{Type: "sweep_finished", ElapsedMS: elapsed.Milliseconds()}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	o.hub.publish(ev)
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHubFanOutOrderAndSeq(t *testing.T) {
+	h := newHub("j1")
+	a, b := h.subscribe(), h.subscribe()
+	for i := 0; i < 10; i++ {
+		h.publish(Event{Type: "cell_started"})
+	}
+	h.close()
+	for name, sub := range map[string]*subscriber{"a": a, "b": b} {
+		var seqs []int64
+		for ev := range sub.ch {
+			if ev.Job != "j1" {
+				t.Fatalf("%s: event job = %q", name, ev.Job)
+			}
+			seqs = append(seqs, ev.Seq)
+		}
+		if len(seqs) != 10 {
+			t.Fatalf("%s: got %d events, want 10", name, len(seqs))
+		}
+		for i, s := range seqs {
+			if s != int64(i+1) {
+				t.Fatalf("%s: seq[%d] = %d, want %d", name, i, s, i+1)
+			}
+		}
+	}
+}
+
+func TestHubSlowReaderDropsWithNotice(t *testing.T) {
+	h := newHub("j1")
+	sub := h.subscribe()
+	// Overfill the bounded buffer without draining: the overflow must be
+	// dropped, never block the publisher.
+	const overflow = 5
+	for i := 0; i < subBuffer+overflow; i++ {
+		h.publish(Event{Type: "cell_started"})
+	}
+	if len(sub.ch) != subBuffer {
+		t.Fatalf("buffered %d events, want %d", len(sub.ch), subBuffer)
+	}
+	// Drain, then let one more event through: the reader first learns
+	// how much it lost, then resumes the live stream with a Seq gap.
+	for i := 0; i < subBuffer; i++ {
+		ev := <-sub.ch
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("pre-drop seq = %d, want %d", ev.Seq, i+1)
+		}
+	}
+	h.publish(Event{Type: "cell_finished"})
+	notice := <-sub.ch
+	if notice.Type != "dropped" || notice.Dropped != overflow {
+		t.Fatalf("notice = %+v, want dropped=%d", notice, overflow)
+	}
+	live := <-sub.ch
+	if live.Type != "cell_finished" || live.Seq != int64(subBuffer+overflow+1) {
+		t.Fatalf("post-drop event = %+v, want seq %d", live, subBuffer+overflow+1)
+	}
+	h.close()
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("channel still open after hub close")
+	}
+}
+
+func TestHubCloseAndLateSubscribe(t *testing.T) {
+	h := newHub("j1")
+	sub := h.subscribe()
+	h.close()
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("subscriber channel not closed by hub close")
+	}
+	if late := h.subscribe(); late != nil {
+		t.Fatal("subscribe after close must return nil")
+	}
+	h.publish(Event{Type: "state"}) // must be a no-op, not a panic
+	h.close()                       // idempotent
+}
+
+func TestHubUnsubscribeClosesChannel(t *testing.T) {
+	h := newHub("j1")
+	sub := h.subscribe()
+	h.unsubscribe(sub)
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("unsubscribed channel still open")
+	}
+	h.publish(Event{Type: "state"}) // detached: no panic on closed channel
+	h.unsubscribe(sub)              // idempotent
+	h.close()
+}
+
+// TestHubConcurrentPublishSubscribe races publishers against subscriber
+// churn — the -race leg for the fan-out path.
+func TestHubConcurrentPublishSubscribe(t *testing.T) {
+	h := newHub("j1")
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.publish(Event{Type: "cell_started"})
+			}
+		}()
+	}
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sub := h.subscribe()
+			if sub == nil {
+				return
+			}
+			for i := 0; i < 50; i++ {
+				select {
+				case _, ok := <-sub.ch:
+					if !ok {
+						return
+					}
+				default:
+				}
+			}
+			h.unsubscribe(sub)
+		}(s)
+	}
+	wg.Wait()
+	h.close()
+}
+
+// TestHubPublishNeverBlocks pins the no-backpressure contract with a
+// subscriber nobody ever drains: publishing far past the buffer must
+// complete (and count drops) rather than deadlock the sweep.
+func TestHubPublishNeverBlocks(t *testing.T) {
+	h := newHub("j1")
+	sub := h.subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < subBuffer*10; i++ {
+			h.publish(Event{Type: fmt.Sprintf("e%d", i)})
+		}
+	}()
+	<-done
+	h.mu.Lock()
+	dropped := sub.dropped
+	h.mu.Unlock()
+	if dropped != subBuffer*9 {
+		t.Fatalf("dropped = %d, want %d", dropped, subBuffer*9)
+	}
+	h.close()
+}

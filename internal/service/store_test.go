@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := s.NextID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j000001" {
+		t.Fatalf("first ID = %q, want j000001", id)
+	}
+	spec := []byte(`{"name":"x"}`)
+	now := time.Now().UTC()
+	meta := Meta{ID: id, State: StateQueued, Experiment: "x", Cells: 4, SubmittedAt: now}
+	if err := s.Create(meta, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.ReadMeta(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id || got.State != StateQueued || got.Cells != 4 || !got.SubmittedAt.Equal(now) {
+		t.Fatalf("meta round-trip mismatch: %+v", got)
+	}
+	gotSpec, err := s.ReadSpec(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotSpec) != string(spec) {
+		t.Fatalf("spec bytes changed: %q", gotSpec)
+	}
+
+	// Reopen: IDs continue past existing jobs, listing is in ID order.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s2.NextID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != "j000002" {
+		t.Fatalf("next ID after reopen = %q, want j000002", id2)
+	}
+	meta.State = StateDone
+	if err := s2.WriteMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := s2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].State != StateDone {
+		t.Fatalf("list after update: %+v", metas)
+	}
+}
+
+func TestStoreUnknownJobAndOrphanDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadMeta("j000009"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("ReadMeta unknown = %v, want ErrNoJob", err)
+	}
+	if _, err := s.ReadSpec("j000009"); !errors.Is(err, ErrNoJob) {
+		t.Fatalf("ReadSpec unknown = %v, want ErrNoJob", err)
+	}
+
+	// A directory without meta.json (crash between mkdir and the first
+	// snapshot) never became a job: List skips it, NextID moves past it.
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", "j000003"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 0 {
+		t.Fatalf("orphan dir listed as a job: %+v", metas)
+	}
+	id, err := s.NextID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j000004" {
+		t.Fatalf("NextID with orphan j000003 = %q, want j000004", id)
+	}
+}
+
+func TestStoreAtomicWriteLeavesNoTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{ID: "j000001", State: StateQueued, SubmittedAt: time.Now().UTC()}
+	if err := s.Create(meta, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		meta.Done = i
+		if err := s.WriteMeta(meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(s.jobDir("j000001"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "spec.json" && e.Name() != "meta.json" {
+			t.Fatalf("unexpected file %q after atomic writes", e.Name())
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package vdtn_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinary compiles one of the repo's commands into a temp dir.
+func buildBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// startDaemon launches vdtnd on an ephemeral port and waits for the
+// bound address. The returned stop function sends SIGTERM and waits for
+// a clean exit.
+func startDaemon(t *testing.T, bin, dataDir string) (*exec.Cmd, string, func()) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-data-dir", dataDir)
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var addr string
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("daemon never wrote its address; stderr:\n%s", &stderr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop := func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited uncleanly: %v\nstderr:\n%s", err, &stderr)
+			}
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Fatalf("daemon ignored SIGTERM; stderr:\n%s", &stderr)
+		}
+	}
+	return cmd, "http://" + addr, stop
+}
+
+// jobMeta is the slice of the job body this test reads.
+type jobMeta struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Cells    int    `json:"cells"`
+	Done     int    `json:"done"`
+	Resumed  int    `json:"resumed"`
+	Restarts int    `json:"restarts"`
+	Error    string `json:"error"`
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServiceKillAndResumeByteIdentical is the daemon's CI smoke gate —
+// the service-level twin of TestExperimentsKillAndResumeByteIdentical,
+// with one claim on top: cross-surface identity. The golden is written
+// by cmd/experiments -out-jsonl; the daemon is SIGKILL'd mid-sweep (no
+// flush, no meta transition, nothing), restarted on the same data dir,
+// and must finish the job on its own — the re-admitted job resumes from
+// the surviving results.jsonl prefix — serving an artifact byte-for-byte
+// equal to the CLI's.
+func TestServiceKillAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real daemon")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGKILL on windows")
+	}
+
+	expBin := buildBinary(t, "./cmd/experiments")
+	daemonBin := buildBinary(t, "./cmd/vdtnd")
+	spec := filepath.Join(t.TempDir(), "heavy-grid.json")
+	if err := os.WriteFile(spec, []byte(killSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden: the CLI's artifact for the same spec.
+	goldenDir := filepath.Join(t.TempDir(), "jsonl")
+	ref := exec.Command(expBin, "-spec", spec, "-out-jsonl", goldenDir)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("golden CLI run failed: %v\n%s", err, out)
+	}
+	golden, err := os.ReadFile(filepath.Join(goldenDir, "ttl-copies-grid.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dataDir := t.TempDir()
+	daemon, base, _ := startDaemon(t, daemonBin, dataDir)
+
+	// Submit the sweep at one worker so it runs long enough to die mid-way.
+	body := fmt.Sprintf(`{"spec": %s, "options": {"workers": 1}}`, killSpec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, sub)
+	}
+	var job jobMeta
+	if err := json.Unmarshal(sub, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the sweep get well underway, then kill -9 the whole daemon.
+	// Waiting for a dozen of the 48 cells puts the kill past the sink's
+	// first bufio flush, so a flushed prefix of results.jsonl survives
+	// and the restart genuinely resumes mid-stream rather than starting
+	// over.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var m jobMeta
+		getJSON(t, base+"/v1/jobs/"+job.ID, &m)
+		if m.State == "running" && m.Done >= 12 {
+			break
+		}
+		if m.State == "done" {
+			t.Fatal("sweep finished before the kill; killSpec needs retuning")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed; state %q", m.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+
+	stream := filepath.Join(dataDir, "jobs", job.ID, "results.jsonl")
+	if cut, err := os.ReadFile(stream); err == nil {
+		t.Logf("kill left %d of %d golden bytes", len(cut), len(golden))
+	}
+
+	// Restart on the same data dir: the job must be re-admitted, resumed,
+	// and finished without any client involvement.
+	_, base2, stop2 := startDaemon(t, daemonBin, dataDir)
+	deadline = time.Now().Add(120 * time.Second)
+	var final jobMeta
+	for {
+		getJSON(t, base2+"/v1/jobs/"+job.ID, &final)
+		if final.State == "done" || final.State == "failed" || final.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after restart", final.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.State != "done" || final.Restarts != 1 || final.Error != "" {
+		t.Fatalf("final job = %+v, want done with 1 restart", final)
+	}
+
+	// The served artifact equals the CLI's golden byte for byte.
+	res, err := http.Get(base2 + "/v1/jobs/" + job.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("results = %d, %v", res.StatusCode, err)
+	}
+	if !bytes.Equal(served, golden) {
+		t.Fatalf("daemon artifact differs from the CLI golden\n--- daemon ---\n%s--- cli ---\n%s", served, golden)
+	}
+
+	// And the daemon shuts down cleanly when asked nicely.
+	stop2()
+}
+
+// TestServiceCtlRoundTrip drives the same binary in client mode: submit
+// through `vdtnd ctl submit`, wait with `ctl wait`, fetch with
+// `ctl results` — the full quickstart, against a live daemon.
+func TestServiceCtlRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon")
+	}
+	daemonBin := buildBinary(t, "./cmd/vdtnd")
+	spec, err := filepath.Abs(filepath.Join("examples", "sweeps", "grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base, stop := startDaemon(t, daemonBin, t.TempDir())
+	defer stop()
+	addr := strings.TrimPrefix(base, "http://")
+
+	ctl := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(daemonBin, append([]string{"ctl"}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("ctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	submitOut := ctl("submit", "-addr", addr, "-spec", spec)
+	var job jobMeta
+	if err := json.Unmarshal([]byte(submitOut), &job); err != nil {
+		t.Fatalf("ctl submit output: %v\n%s", err, submitOut)
+	}
+	if job.ID == "" || job.Cells != 8 {
+		t.Fatalf("submitted job = %+v", job)
+	}
+
+	waitOut := ctl("wait", "-addr", addr, job.ID)
+	if !strings.Contains(waitOut, "done") {
+		t.Fatalf("ctl wait output: %s", waitOut)
+	}
+
+	listOut := ctl("list", "-addr", addr)
+	if !strings.Contains(listOut, job.ID) || !strings.Contains(listOut, "done") {
+		t.Fatalf("ctl list output: %s", listOut)
+	}
+
+	results := ctl("results", "-addr", addr, job.ID)
+	if !strings.Contains(results, `"format":"vdtn-sweep-jsonl/1"`) {
+		t.Fatalf("ctl results missing stream header:\n%s", results)
+	}
+	if !strings.Contains(results, `"cells":8,"complete":true`) {
+		t.Fatalf("ctl results missing complete footer:\n%s", results)
+	}
+}

@@ -400,6 +400,10 @@ type (
 	ExperimentObserver = experiments.Observer
 	// ExperimentBaseObserver is the no-op observer for embedding.
 	ExperimentBaseObserver = experiments.BaseObserver
+	// ExperimentProgressObserver renders a running sweep as a single live
+	// cell counter line with elapsed time and ETA — the observer behind
+	// cmd/experiments -progress and the vdtnd daemon's progress echo.
+	ExperimentProgressObserver = experiments.ProgressObserver
 	// ExperimentCellID identifies one cell in observer progress reports.
 	ExperimentCellID = experiments.CellID
 	// ExperimentCacheEvent is one contact-cache lookup outcome delivered
